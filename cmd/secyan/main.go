@@ -1,0 +1,182 @@
+// Command secyan runs one of the paper's TPC-H queries under the secure
+// Yannakakis protocol, either in-process (both parties in one binary,
+// the default) or across two processes over TCP.
+//
+// In-process demo:
+//
+//	secyan -query Q3 -scale 0.1
+//
+// Two processes (both generate the same data from the shared seed, each
+// playing its own party):
+//
+//	secyan -query Q3 -scale 0.1 -role alice -listen :7000
+//	secyan -query Q3 -scale 0.1 -role bob   -connect localhost:7000
+//
+// Alice prints the query results; both print their traffic statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"secyan/internal/core"
+	"secyan/internal/mpc"
+	"secyan/internal/queries"
+	"secyan/internal/relation"
+	"secyan/internal/share"
+	"secyan/internal/tpch"
+	"secyan/internal/transport"
+)
+
+func main() {
+	queryName := flag.String("query", "Q3", "query to run: Q3, Q10, Q18, Q8, Q9")
+	scale := flag.Float64("scale", 0.05, "dataset size in MB")
+	seed := flag.Int64("seed", 1, "data generation seed (must match between parties)")
+	role := flag.String("role", "", "party role for distributed mode: alice or bob (empty = in-process demo)")
+	listen := flag.String("listen", "", "listen address (alice side of distributed mode)")
+	connect := flag.String("connect", "", "peer address (bob side of distributed mode)")
+	q9nations := flag.Int("q9nations", 2, "nations in the Q9 decomposition (paper: 25)")
+	maxRows := flag.Int("maxrows", 20, "result rows to print")
+	explain := flag.Bool("explain", false, "print the execution plan and cost estimate instead of running")
+	flag.Parse()
+
+	var spec queries.Spec
+	switch *queryName {
+	case "Q3":
+		spec = queries.Q3()
+	case "Q10":
+		spec = queries.Q10()
+	case "Q18":
+		spec = queries.Q18()
+	case "Q8":
+		spec = queries.Q8()
+	case "Q9":
+		spec = queries.Q9(*q9nations)
+	default:
+		fmt.Fprintf(os.Stderr, "secyan: unknown query %q\n", *queryName)
+		os.Exit(2)
+	}
+
+	db := tpch.Generate(tpch.Config{ScaleMB: *scale, Seed: *seed})
+	fmt.Printf("dataset: %.3g MB (%d tuples total), query %s\n", *scale, db.TotalRows(), spec.Name)
+	ring := share.Ring{Bits: 32}
+
+	if *explain {
+		if err := printExplain(spec, db, ring); err != nil {
+			fmt.Fprintf(os.Stderr, "secyan: explain: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *role == "" {
+		runInProcess(spec, db, ring, *maxRows)
+		return
+	}
+	runDistributed(spec, db, ring, *role, *listen, *connect, *maxRows)
+}
+
+// printExplain renders the plan of the query's (first) secure execution.
+// Query specs prepare their own core.Query values internally, so we
+// re-derive a representative one from the database shape: the masked
+// relations have the same public sizes as the originals.
+func printExplain(spec queries.Spec, db *tpch.DB, ring share.Ring) error {
+	q, err := queries.PlanFor(spec, db)
+	if err != nil {
+		return err
+	}
+	plan, err := core.Explain(q, ring.Bits, 0)
+	if err != nil {
+		return err
+	}
+	plan.Format(os.Stdout)
+	return nil
+}
+
+func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int) {
+	alice, bob := mpc.Pair(ring)
+	defer alice.Conn.Close()
+	defer bob.Conn.Close()
+	start := time.Now()
+	res, _, err := mpc.Run2PC(alice, bob,
+		func(p *mpc.Party) (*relation.Relation, error) { return spec.Secure(p, db) },
+		func(p *mpc.Party) (*relation.Relation, error) { return spec.Secure(p, db) },
+	)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secyan: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	printResult(res, maxRows)
+	st := alice.Conn.Stats()
+	fmt.Printf("\nsecure run: %.2fs, %.2f MB exchanged, %d messages, %d rounds\n",
+		elapsed.Seconds(), float64(st.TotalBytes())/1e6, st.MessagesSent+st.MessagesRecv, st.Rounds)
+
+	plain, err := spec.Plain(db, ring.Bits)
+	if err == nil {
+		fmt.Printf("plaintext reference rows: %d (secure rows: %d)\n", plain.Len(), res.Len())
+	}
+}
+
+func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, listen, connect string, maxRows int) {
+	var conn transport.Conn
+	var err error
+	var r mpc.Role
+	switch role {
+	case "alice":
+		r = mpc.Alice
+		if listen == "" {
+			fmt.Fprintln(os.Stderr, "secyan: alice needs -listen")
+			os.Exit(2)
+		}
+		fmt.Printf("alice: waiting for bob on %s...\n", listen)
+		conn, err = transport.Listen(listen)
+	case "bob":
+		r = mpc.Bob
+		if connect == "" {
+			fmt.Fprintln(os.Stderr, "secyan: bob needs -connect")
+			os.Exit(2)
+		}
+		conn, err = transport.Dial(connect)
+	default:
+		fmt.Fprintf(os.Stderr, "secyan: role must be alice or bob, got %q\n", role)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secyan: transport: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	p := mpc.NewParty(r, conn, ring)
+	start := time.Now()
+	res, err := spec.Secure(p, db)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secyan: %v\n", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+	if r == mpc.Alice {
+		printResult(res, maxRows)
+	} else {
+		fmt.Println("bob: protocol finished (no output by design)")
+	}
+	st := conn.Stats()
+	fmt.Printf("secure run: %.2fs, %.2f MB exchanged, %d rounds\n",
+		elapsed.Seconds(), float64(st.TotalBytes())/1e6, st.Rounds)
+}
+
+func printResult(res *relation.Relation, maxRows int) {
+	if res == nil {
+		return
+	}
+	fmt.Printf("\nresult (%d rows): %v\n", res.Len(), res.Schema.Attrs)
+	for i := 0; i < res.Len() && i < maxRows; i++ {
+		fmt.Printf("  %v  ->  %d\n", res.Tuples[i], res.Annot[i])
+	}
+	if res.Len() > maxRows {
+		fmt.Printf("  ... %d more rows\n", res.Len()-maxRows)
+	}
+}

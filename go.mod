@@ -1,0 +1,3 @@
+module secyan
+
+go 1.22

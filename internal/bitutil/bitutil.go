@@ -1,0 +1,189 @@
+// Package bitutil provides packed bit vectors and the cache-friendly
+// bit-matrix transpose required by the IKNP oblivious-transfer extension,
+// where a k×m bit matrix held column-wise by one party must be consumed
+// row-wise.
+package bitutil
+
+// Vector is a packed little-endian bit vector: bit i lives at
+// word i/64, position i%64.
+type Vector struct {
+	bits []uint64
+	n    int
+}
+
+// NewVector returns an all-zero vector of n bits.
+func NewVector(n int) *Vector {
+	return &Vector{bits: make([]uint64, (n+63)/64), n: n}
+}
+
+// FromBools packs a []bool into a Vector.
+func FromBools(bs []bool) *Vector {
+	v := NewVector(len(bs))
+	for i, b := range bs {
+		if b {
+			v.Set(i, true)
+		}
+	}
+	return v
+}
+
+// Len returns the number of bits.
+func (v *Vector) Len() int { return v.n }
+
+// Get returns bit i.
+func (v *Vector) Get(i int) bool { return v.bits[i/64]>>(uint(i)%64)&1 == 1 }
+
+// Set assigns bit i.
+func (v *Vector) Set(i int, b bool) {
+	if b {
+		v.bits[i/64] |= 1 << (uint(i) % 64)
+	} else {
+		v.bits[i/64] &^= 1 << (uint(i) % 64)
+	}
+}
+
+// Words exposes the underlying packed words.
+func (v *Vector) Words() []uint64 { return v.bits }
+
+// Bytes serializes the vector to ceil(n/8) little-endian bytes.
+func (v *Vector) Bytes() []byte {
+	out := make([]byte, (v.n+7)/8)
+	for i := range out {
+		w := v.bits[i/8]
+		out[i] = byte(w >> (8 * (uint(i) % 8)))
+	}
+	return out
+}
+
+// VectorFromBytes parses n bits from little-endian bytes.
+func VectorFromBytes(data []byte, n int) *Vector {
+	v := NewVector(n)
+	for i := 0; i < (n+7)/8; i++ {
+		v.bits[i/8] |= uint64(data[i]) << (8 * (uint(i) % 8))
+	}
+	// Clear any slack bits beyond n.
+	if n%64 != 0 {
+		v.bits[len(v.bits)-1] &= (1 << (uint(n) % 64)) - 1
+	}
+	return v
+}
+
+// XorInto sets dst = a ^ b for equal-length vectors.
+func XorInto(dst, a, b *Vector) {
+	if a.n != b.n || dst.n != a.n {
+		panic("bitutil: XorInto length mismatch")
+	}
+	for i := range dst.bits {
+		dst.bits[i] = a.bits[i] ^ b.bits[i]
+	}
+}
+
+// transpose64 transposes a 64×64 bit matrix held as 64 words in place.
+// It is the little-endian adaptation of the recursive delta-swap from
+// "Hacker's Delight" §7-3: word k is row k and bit b is column b.
+func transpose64(a *[64]uint64) {
+	m := uint64(0x00000000FFFFFFFF)
+	for j := uint(32); j != 0; {
+		for k := uint(0); k < 64; k = (k + j + 1) &^ j {
+			t := ((a[k] >> j) ^ a[k+j]) & m
+			a[k] ^= t << j
+			a[k+j] ^= t
+		}
+		j >>= 1
+		m ^= m << j
+	}
+}
+
+// Matrix is a bit matrix stored row-major with each row padded to a
+// multiple of 64 bits.
+type Matrix struct {
+	Rows, Cols int
+	rowWords   int
+	bits       []uint64
+}
+
+// NewMatrix allocates an all-zero rows×cols bit matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	rw := (cols + 63) / 64
+	return &Matrix{Rows: rows, Cols: cols, rowWords: rw, bits: make([]uint64, rows*rw)}
+}
+
+// Get returns the bit at (r, c).
+func (m *Matrix) Get(r, c int) bool {
+	return m.bits[r*m.rowWords+c/64]>>(uint(c)%64)&1 == 1
+}
+
+// Set assigns the bit at (r, c).
+func (m *Matrix) Set(r, c int, b bool) {
+	idx := r*m.rowWords + c/64
+	if b {
+		m.bits[idx] |= 1 << (uint(c) % 64)
+	} else {
+		m.bits[idx] &^= 1 << (uint(c) % 64)
+	}
+}
+
+// Row returns the packed words of row r (read-only view).
+func (m *Matrix) Row(r int) []uint64 {
+	return m.bits[r*m.rowWords : (r+1)*m.rowWords]
+}
+
+// SetRowBytes fills row r from little-endian bytes.
+func (m *Matrix) SetRowBytes(r int, data []byte) {
+	row := m.Row(r)
+	for i := range row {
+		row[i] = 0
+	}
+	for i := 0; i < len(data) && i < m.rowWords*8; i++ {
+		row[i/8] |= uint64(data[i]) << (8 * (uint(i) % 8))
+	}
+}
+
+// RowBytes serializes row r to ceil(cols/8) little-endian bytes.
+func (m *Matrix) RowBytes(r int) []byte {
+	out := make([]byte, (m.Cols+7)/8)
+	row := m.Row(r)
+	for i := range out {
+		out[i] = byte(row[i/8] >> (8 * (uint(i) % 8)))
+	}
+	return out
+}
+
+// Transpose returns the cols×rows transpose of m, processed in 64×64
+// blocks for cache efficiency. Padding bits are zero.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	var blk [64]uint64
+	for rb := 0; rb < m.Rows; rb += 64 {
+		for cb := 0; cb < m.Cols; cb += 64 {
+			// Load a 64×64 block; rows beyond bounds are zero.
+			for i := 0; i < 64; i++ {
+				r := rb + i
+				if r < m.Rows && cb/64 < m.rowWords {
+					blk[i] = m.bits[r*m.rowWords+cb/64]
+				} else {
+					blk[i] = 0
+				}
+			}
+			transpose64(&blk)
+			// blk is now column-major for the original block: blk[j] holds
+			// original column cb+j across rows rb..rb+63, i.e. row cb+j of
+			// the transpose at word rb/64.
+			for j := 0; j < 64; j++ {
+				c := cb + j
+				if c < m.Cols && rb/64 < t.rowWords {
+					t.bits[c*t.rowWords+rb/64] = blk[j]
+				}
+			}
+		}
+	}
+	// Clear slack bits in the transpose (original row padding).
+	if t.Cols%64 != 0 {
+		mask := (uint64(1) << (uint(t.Cols) % 64)) - 1
+		for r := 0; r < t.Rows; r++ {
+			row := t.Row(r)
+			row[len(row)-1] &= mask
+		}
+	}
+	return t
+}

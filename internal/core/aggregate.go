@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+
+	"secyan/internal/gc"
+	"secyan/internal/mpc"
+	"secyan/internal/oep"
+	"secyan/internal/relation"
+)
+
+// This file implements the oblivious projection-aggregation operators of
+// paper §6.1: π^⊕ (Aggregate) and π¹ (ProjectOne). The holder sorts its
+// relation by the group-by attributes, an OEP re-aligns the shared
+// annotations with the sorted order, and a single garbled circuit chains
+// N-1 "merge gates" that accumulate group aggregates. The output relation
+// keeps exactly N tuples: the last tuple of each group carries the
+// group's aggregate (in shares); every other position becomes a dummy
+// tuple whose share-of-zero annotation falls out of the same circuit.
+
+// mergeKind selects the accumulation semantics of the merge-gate chain.
+type mergeKind int
+
+const (
+	mergeSum mergeKind = iota // π^⊕ over (Z_{2^ℓ}, +)
+	mergeOr                   // π¹: OR of nonzero indicators
+)
+
+// buildMergeCircuit constructs the chained aggregation circuit for n
+// tuples over ell-bit annotations.
+//
+// Evaluator (= holder) inputs, in order per tuple i: its share of v_i
+// (ell bits), then for i ≥ 1 the group-boundary bit eq_i =
+// Ind(t_{i-1} ≈ t_i). Garbler-private bits per tuple: the garbler's share
+// of v_i, then the negated output mask -r_i. Outputs to the evaluator:
+// out_i + (-r_i) where out_i is the group aggregate at the last position
+// of each group and 0 elsewhere.
+func buildMergeCircuit(n, ell int, kind mergeKind) *gc.Circuit {
+	b := gc.NewBuilder()
+	type tupleWires struct {
+		v  gc.Word
+		eq gc.Wire
+	}
+	tw := make([]tupleWires, n)
+	for i := 0; i < n; i++ {
+		ve := b.EvalInputWord(ell)
+		vg := b.PrivateWord(ell)
+		tw[i].v = b.AddPrivate(ve, vg)
+		if i > 0 {
+			tw[i].eq = b.EvalInput()
+		}
+	}
+	outs := make([]gc.Word, n)
+	switch kind {
+	case mergeSum:
+		run := tw[0].v
+		for i := 1; i < n; i++ {
+			outs[i-1] = b.ANDWordBit(run, b.Not(tw[i].eq))
+			run = b.Add(b.ANDWordBit(run, tw[i].eq), tw[i].v)
+		}
+		outs[n-1] = run
+	case mergeOr:
+		run := b.NonZero(tw[0].v)
+		for i := 1; i < n; i++ {
+			outs[i-1] = b.ZeroExtend(gc.Word{b.AND(run, b.Not(tw[i].eq))}, ell)
+			run = b.OR(b.AND(run, tw[i].eq), b.NonZero(tw[i].v))
+		}
+		outs[n-1] = b.ZeroExtend(gc.Word{run}, ell)
+	}
+	for i := 0; i < n; i++ {
+		mask := b.PrivateWord(ell)
+		b.OutputWordToEval(b.AddPrivate(outs[i], mask))
+	}
+	return b.Build()
+}
+
+// runMerge executes the sort + OEP + merge-chain pipeline shared by
+// Aggregate and ProjectOne, returning the new SharedRelation.
+func runMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []relation.Attr, kind mergeKind) (*SharedRelation, error) {
+	outSchema, err := relation.NewSchema(groupBy...)
+	if err != nil {
+		return nil, err
+	}
+	n := s.N
+	if n == 0 {
+		return &SharedRelation{Holder: s.Holder, Schema: outSchema, N: 0, Plain: s.Plain,
+			Rel: holderRel(p, s, relation.New(outSchema))}, nil
+	}
+	if s.Plain {
+		// §6.5: the holder knows the annotations, so the whole
+		// aggregation is local — no OEP, no circuit, no communication.
+		return localMerge(p, dg, s, groupBy, kind, outSchema)
+	}
+	ell := p.Ring.Bits
+	circ := buildMergeCircuit(n, ell, kind)
+
+	if s.IsHolder(p) {
+		cols, err := s.Schema.Positions(groupBy)
+		if err != nil {
+			return nil, err
+		}
+		sorted := s.Rel.Clone()
+		perm := sorted.SortByColumns(cols)
+		annot, err := oep.RunPermuteProgrammer(p, perm, s.Annot)
+		if err != nil {
+			return nil, fmt.Errorf("core: aggregate OEP: %w", err)
+		}
+		// Evaluator inputs: shares and group-boundary bits.
+		evalBits := make([]bool, 0, n*(ell+1))
+		for i := 0; i < n; i++ {
+			evalBits = gc.AppendBits(evalBits, annot[i], ell)
+			if i > 0 {
+				evalBits = append(evalBits, rowsEqualOn(sorted, i-1, i, cols))
+			}
+		}
+		out, err := p.RunCircuit(circ, evalBits, nil, s.Holder.Other())
+		if err != nil {
+			return nil, err
+		}
+		// Build the output relation: the last row of each group keeps its
+		// group values; every other row becomes a fresh dummy.
+		res := relation.New(outSchema)
+		newAnnot := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			newAnnot[i] = p.Ring.Mask(gc.UintOfBits(out[i*ell : (i+1)*ell]))
+			last := i == n-1 || !rowsEqualOn(sorted, i, i+1, cols)
+			row := make([]uint64, len(cols))
+			if last {
+				for c, cc := range cols {
+					row[c] = sorted.Tuples[i][cc]
+				}
+			} else {
+				for c := range row {
+					row[c] = dg.Next()
+				}
+			}
+			res.Append(row, 0)
+		}
+		return &SharedRelation{Holder: s.Holder, Schema: outSchema, N: n, Rel: res, Annot: newAnnot}, nil
+	}
+
+	// Helper side: OEP helper, then garbler with private share/mask bits.
+	annot, err := oep.RunPermuteHelper(p, n, s.Annot)
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregate OEP: %w", err)
+	}
+	// Private-bit order must match circuit allocation: the per-tuple share
+	// words come first (allocated while wiring inputs), then the n output
+	// mask words.
+	priv := make([]bool, 0, 2*n*ell)
+	for i := 0; i < n; i++ {
+		priv = gc.AppendBits(priv, annot[i], ell)
+	}
+	newAnnot := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		r := p.Ring.Random(p.PRG)
+		newAnnot[i] = r
+		priv = gc.AppendBits(priv, p.Ring.Neg(r), ell)
+	}
+	if _, err := p.RunCircuit(circ, nil, priv, s.Holder.Other()); err != nil {
+		return nil, err
+	}
+	return &SharedRelation{Holder: s.Holder, Schema: outSchema, N: n, Annot: newAnnot}, nil
+}
+
+// localMerge is the plaintext-annotation fast path of the aggregation
+// operators (§6.5): the holder sorts, aggregates and pads locally,
+// reproducing the exact output structure of the oblivious protocol (last
+// tuple of each sorted group carries the aggregate, all other positions
+// are fresh dummies), so downstream operators cannot tell the difference.
+func localMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []relation.Attr, kind mergeKind, outSchema relation.Schema) (*SharedRelation, error) {
+	n := s.N
+	if !s.IsHolder(p) {
+		return &SharedRelation{Holder: s.Holder, Schema: outSchema, N: n,
+			Annot: make([]uint64, n), Plain: true}, nil
+	}
+	cols, err := s.Schema.Positions(groupBy)
+	if err != nil {
+		return nil, err
+	}
+	sorted := s.Rel.Clone()
+	sorted.Annot = append([]uint64(nil), s.Annot...)
+	sorted.SortByColumns(cols)
+
+	res := relation.New(outSchema)
+	annot := make([]uint64, n)
+	var run uint64
+	for i := 0; i < n; i++ {
+		switch kind {
+		case mergeSum:
+			run = p.Ring.Add(run, sorted.Annot[i])
+		case mergeOr:
+			if sorted.Annot[i] != 0 {
+				run = 1
+			}
+		}
+		last := i == n-1 || !rowsEqualOn(sorted, i, i+1, cols)
+		row := make([]uint64, len(cols))
+		if last {
+			for c, cc := range cols {
+				row[c] = sorted.Tuples[i][cc]
+			}
+			annot[i] = run
+			run = 0
+		} else {
+			for c := range row {
+				row[c] = dg.Next()
+			}
+		}
+		res.Append(row, 0)
+	}
+	return &SharedRelation{Holder: s.Holder, Schema: outSchema, N: n, Rel: res,
+		Annot: annot, Plain: true}, nil
+}
+
+// rowsEqualOn compares two rows of r on the given columns.
+func rowsEqualOn(r *relation.Relation, i, j int, cols []int) bool {
+	for _, c := range cols {
+		if r.Tuples[i][c] != r.Tuples[j][c] {
+			return false
+		}
+	}
+	return true
+}
+
+// holderRel returns rel on the holder side and nil elsewhere.
+func holderRel(p *mpc.Party, s *SharedRelation, rel *relation.Relation) *relation.Relation {
+	if s.IsHolder(p) {
+		return rel
+	}
+	return nil
+}
+
+// Aggregate computes the oblivious projection-aggregation π^⊕_groupBy(s)
+// (paper §6.1). The output has the same public size as the input; dummy
+// positions carry shares of zero.
+func Aggregate(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []relation.Attr) (*SharedRelation, error) {
+	return runMerge(p, dg, s, groupBy, mergeSum)
+}
+
+// ProjectOne computes the oblivious π¹_attrs(s) (paper §6.1): the output
+// relation is semantically equivalent to the distinct attrs-values of the
+// nonzero-annotated tuples, each annotated with a share of 1.
+func ProjectOne(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, attrs []relation.Attr) (*SharedRelation, error) {
+	return runMerge(p, dg, s, attrs, mergeOr)
+}

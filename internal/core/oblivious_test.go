@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"secyan/internal/mpc"
+	"secyan/internal/relation"
+)
+
+// TestOperatorTranscriptsDataIndependent asserts obliviousness at the
+// single-operator level: the aggregate and semijoin transcripts must have
+// identical sizes for different private inputs of the same public shape
+// (requirement 4 of the paper's operator contract, §6).
+func TestOperatorTranscriptsDataIndependent(t *testing.T) {
+	run := func(variant uint64) (int64, int64) {
+		parent := relation.New(relation.MustSchema("a", "k"))
+		child := relation.New(relation.MustSchema("k"))
+		for i := 0; i < 24; i++ {
+			parent.Append([]uint64{uint64(i) + variant*1000, uint64(i%7) + variant}, uint64(i)*variant+1)
+		}
+		for i := 0; i < 9; i++ {
+			child.Append([]uint64{uint64(i) + variant}, variant*uint64(i+1))
+		}
+		alice, bob := mpc.Pair(testRing)
+		defer alice.Conn.Close()
+		defer bob.Conn.Close()
+		do := func(p *mpc.Party) (any, error) {
+			var pr, cr *relation.Relation
+			if p.Role == mpc.Alice {
+				pr = parent
+			} else {
+				cr = child
+			}
+			ps, err := ShareInput(p, mpc.Alice, pr, parent.Schema, parent.Len())
+			if err != nil {
+				return nil, err
+			}
+			cs, err := ShareInput(p, mpc.Bob, cr, child.Schema, child.Len())
+			if err != nil {
+				return nil, err
+			}
+			var dg relation.DummyGen
+			agg, err := Aggregate(p, &dg, ps, []A{"k"})
+			if err != nil {
+				return nil, err
+			}
+			return SemijoinInto(p, &dg, agg, cs)
+		}
+		if _, _, err := mpc.Run2PC(alice, bob, do, do); err != nil {
+			t.Fatal(err)
+		}
+		st := alice.Conn.Stats()
+		return st.BytesSent, st.BytesReceived
+	}
+	s1, r1 := run(1)
+	s2, r2 := run(7)
+	if s1 != s2 || r1 != r2 {
+		t.Fatalf("operator transcript depends on data: (%d,%d) vs (%d,%d)", s1, r1, s2, r2)
+	}
+}

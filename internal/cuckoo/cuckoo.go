@@ -1,0 +1,174 @@
+// Package cuckoo implements the hashing substrate of the circuit-based PSI
+// protocol (paper §5.3): 3-function cuckoo hashing with B = 1.27·M bins
+// for the receiver, and the binomial bin-load bound used to pad the
+// sender's simple-hashed bins so that overflow probability stays below
+// 2^-σ.
+package cuckoo
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"secyan/internal/prf"
+)
+
+// NumHashes is the number of cuckoo hash functions (paper §5.3 uses 3).
+const NumHashes = 3
+
+// BinExpansion is the bin-count factor relative to the set size; the paper
+// notes B = 1.27·M suffices in practice for 3-hash cuckoo hashing.
+const BinExpansion = 1.27
+
+// ErrTooManyDuplicates reports that the input multiset cannot be cuckoo
+// hashed because some value repeats.
+var ErrTooManyDuplicates = errors.New("cuckoo: input contains duplicate values")
+
+// NumBins returns the public bin count for a set of size m. It depends
+// only on m, never on the set contents, as obliviousness requires.
+func NumBins(m int) int {
+	b := int(math.Ceil(BinExpansion * float64(m)))
+	if b < 4 {
+		b = 4
+	}
+	return b
+}
+
+// BinOf returns hash function `which` (0..2) of x over b bins, keyed by
+// seed. Both parties evaluate it on their own sets, so it must be cheap
+// and deterministic.
+func BinOf(seed prf.Seed, b int, x uint64, which int) int {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], x)
+	h := prf.Hash(uint64(which), seed[:], buf[:])
+	return int(binary.LittleEndian.Uint64(h[:8]) % uint64(b))
+}
+
+// Table is a built cuckoo table: every inserted item occupies exactly one
+// of its three candidate bins.
+type Table struct {
+	B     int      // number of bins
+	Seed  prf.Seed // seed of the three hash functions, shared with the peer
+	Items []uint64 // the inserted items
+	// Bins[b] is the index into Items occupying bin b, or -1 if empty.
+	Bins []int
+	// WhichHash[i] records which hash function (0..2) placed Items[i].
+	WhichHash []uint8
+}
+
+// maxAttempts bounds the number of full rehashes before giving up; each
+// rehash failure has probability < 2^-σ for σ=40-sized tables, so hitting
+// this bound indicates a bug or adversarial input rather than bad luck.
+const maxAttempts = 32
+
+// Build cuckoo-hashes items (which must be distinct) into NumBins(len)
+// bins, retrying with fresh hash seeds on failure. g supplies the seeds
+// and eviction randomness.
+func Build(g *prf.PRG, items []uint64) (*Table, error) {
+	seen := make(map[uint64]struct{}, len(items))
+	for _, x := range items {
+		if _, dup := seen[x]; dup {
+			return nil, fmt.Errorf("%w: %d", ErrTooManyDuplicates, x)
+		}
+		seen[x] = struct{}{}
+	}
+	b := NumBins(len(items))
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		t := &Table{
+			B:         b,
+			Seed:      g.Seed(),
+			Items:     items,
+			Bins:      make([]int, b),
+			WhichHash: make([]uint8, len(items)),
+		}
+		if t.tryBuild(g) {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("cuckoo: failed to build table for %d items after %d rehashes", len(items), maxAttempts)
+}
+
+func (t *Table) tryBuild(g *prf.PRG) bool {
+	for i := range t.Bins {
+		t.Bins[i] = -1
+	}
+	// Random-walk insertion; the kick budget is generous because a failed
+	// attempt only costs a rehash.
+	maxKicks := 100 + 10*len(t.Items)
+	kicks := 0
+	for i := range t.Items {
+		cur := i
+		which := uint8(g.Uint64n(NumHashes))
+		for {
+			bin := BinOf(t.Seed, t.B, t.Items[cur], int(which))
+			prev := t.Bins[bin]
+			t.Bins[bin] = cur
+			t.WhichHash[cur] = which
+			if prev == -1 {
+				break
+			}
+			cur = prev
+			// Kick the evicted item to one of its other two bins.
+			which = (t.WhichHash[cur] + 1 + uint8(g.Uint64n(NumHashes-1))) % NumHashes
+			kicks++
+			if kicks > maxKicks {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BinItem returns the item in bin b and true, or 0 and false if empty.
+func (t *Table) BinItem(b int) (uint64, bool) {
+	if t.Bins[b] == -1 {
+		return 0, false
+	}
+	return t.Items[t.Bins[b]], true
+}
+
+// BinHash returns which hash function placed the item of bin b (0..2);
+// undefined for empty bins.
+func (t *Table) BinHash(b int) int {
+	return int(t.WhichHash[t.Bins[b]])
+}
+
+// BinOfItem returns the bin occupied by Items[i].
+func (t *Table) BinOfItem(i int) int {
+	return BinOf(t.Seed, t.B, t.Items[i], int(t.WhichHash[i]))
+}
+
+// MaxBinLoad returns the smallest per-bin capacity L such that throwing
+// nBalls balls independently into b bins exceeds L in some bin with
+// probability below 2^-sigma. It uses the multiplicative Chernoff bound
+//
+//	P[Bin(n, 1/b) ≥ L] ≤ exp(-μ) (eμ/L)^L,  μ = n/b,
+//
+// union-bounded over the b bins. The sender of the PSI protocol pads every
+// bin to exactly L entries so that its message sizes depend only on public
+// parameters.
+func MaxBinLoad(nBalls, b, sigma int) int {
+	if nBalls == 0 || b == 0 {
+		return 1
+	}
+	mu := float64(nBalls) / float64(b)
+	target := -float64(sigma)*math.Ln2 - math.Log(float64(b))
+	l := int(math.Ceil(mu))
+	if l < 1 {
+		l = 1
+	}
+	for ; ; l++ {
+		fl := float64(l)
+		if fl <= mu {
+			continue
+		}
+		logBound := -mu + fl*(1+math.Log(mu)-math.Log(fl))
+		if logBound <= target {
+			return l
+		}
+		if l > nBalls {
+			return nBalls // can never exceed the total number of balls
+		}
+	}
+}

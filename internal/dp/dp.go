@@ -1,0 +1,139 @@
+// Package dp implements the differential-privacy extension of paper §7
+// ("Protecting privacy against query results"): when the revealed
+// aggregates themselves are sensitive, Laplace noise calibrated to the
+// query's sensitivity is added *inside the protocol*, so that Alice only
+// ever sees the noisy results.
+//
+// Following the paper, the sensitivity Δ of a join-count query is
+// computed from the maximum multiplicity of the join values in each
+// relation (Johnson, Near and Song 2018, reference [19]): the parties
+// find their local maxima, a small garbled circuit multiplies them into
+// Δ without revealing either side's value, and Bob adds
+// Laplace(Δ/ε)-distributed noise to his share of the result before it is
+// revealed — the noise rides the additive secret sharing for free.
+package dp
+
+import (
+	"fmt"
+	"math"
+
+	"secyan/internal/core"
+	"secyan/internal/gc"
+	"secyan/internal/mpc"
+	"secyan/internal/prf"
+	"secyan/internal/relation"
+)
+
+// MaxMultiplicity returns the largest number of tuples of r sharing one
+// value combination on the given attributes — the per-relation quantity
+// feeding the join-count sensitivity bound.
+func MaxMultiplicity(r *relation.Relation, attrs []relation.Attr) (uint64, error) {
+	cols, err := r.Schema.Positions(attrs)
+	if err != nil {
+		return 0, err
+	}
+	counts := map[string]uint64{}
+	var max uint64
+	for i := range r.Tuples {
+		if r.Annot[i] == 0 || r.IsDummy(i) {
+			continue
+		}
+		key := ""
+		for _, c := range cols {
+			key += fmt.Sprint(r.Tuples[i][c], "|")
+		}
+		counts[key]++
+		if counts[key] > max {
+			max = counts[key]
+		}
+	}
+	return max, nil
+}
+
+// SensitivityProduct multiplies each party's private multiplicity bound
+// inside a garbled circuit and reveals the product Δ to both parties.
+// Revealing Δ is standard practice for Laplace calibration; parties who
+// consider even Δ sensitive can substitute a public upper bound.
+func SensitivityProduct(p *mpc.Party, myMax uint64) (uint64, error) {
+	ell := p.Ring.Bits
+	b := gc.NewBuilder()
+	x := b.EvalInputWord(ell)
+	y := b.PrivateWord(ell)
+	prod := b.Mul(x, b.XORGWord(b.ConstWord(0, ell), y))
+	b.OutputWordToEval(prod)
+	b.OutputWordToGarbler(prod)
+	c := b.Build()
+
+	// Alice evaluates, Bob garbles; each feeds its own bound.
+	var out []bool
+	var err error
+	if p.Role == mpc.Alice {
+		out, err = p.RunCircuit(c, gc.AppendBits(nil, p.Ring.Mask(myMax), ell), nil, mpc.Bob)
+	} else {
+		out, err = p.RunCircuit(c, nil, gc.AppendBits(nil, p.Ring.Mask(myMax), ell), mpc.Bob)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return p.Ring.Mask(gc.UintOfBits(out)), nil
+}
+
+// SampleLaplace draws ⌊Laplace(0, scale)⌉ using inverse-transform
+// sampling from g. The result is clamped to ±2^(bits-2) so the noise
+// cannot wrap the ring more than once.
+func SampleLaplace(g *prf.PRG, scale float64, bits int) int64 {
+	// u uniform in (-0.5, 0.5); X = -scale * sign(u) * ln(1 - 2|u|).
+	u := (float64(g.Uint64()>>11)/float64(1<<53) - 0.5)
+	if u == 0 {
+		return 0
+	}
+	sign := 1.0
+	if u < 0 {
+		sign = -1.0
+	}
+	x := -scale * sign * math.Log(1-2*math.Abs(u))
+	limit := float64(uint64(1) << uint(bits-2))
+	if x > limit {
+		x = limit
+	}
+	if x < -limit {
+		x = -limit
+	}
+	return int64(math.Round(x))
+}
+
+// NoisyReveal adds Laplace(Δ/ε) noise to a *scalar* aggregate (a query
+// with empty output attributes, e.g. a join count — the case the paper's
+// sensitivity measure covers) before revealing it to Alice: Bob shifts
+// his additive share of the aggregate by the noise, so the reveal step is
+// unchanged and Alice never sees the exact value (paper §7). The
+// aggregate sits at the last position of the shared result by the public
+// structure of the oblivious aggregation, so shifting exactly that share
+// is sound and leaks nothing. Returns the noisy value to Alice.
+func NoisyReveal(p *mpc.Party, res *core.SharedResult, delta uint64, epsilon float64) (uint64, error) {
+	if epsilon <= 0 {
+		return 0, fmt.Errorf("dp: epsilon must be positive, got %v", epsilon)
+	}
+	if res.Single == nil || len(res.Single.Schema.Attrs) != 0 {
+		return 0, fmt.Errorf("dp: NoisyReveal supports scalar aggregates (empty output attributes) only")
+	}
+	if res.N() == 0 {
+		return 0, fmt.Errorf("dp: empty result")
+	}
+	if p.Role == mpc.Bob {
+		scale := float64(delta) / epsilon
+		noise := SampleLaplace(p.PRG, scale, p.Ring.Bits)
+		last := res.N() - 1
+		res.Single.Annot[last] = p.Ring.Add(res.Single.Annot[last], p.Ring.Mask(uint64(noise)))
+	}
+	rel, err := res.Reveal(p, nil)
+	if err != nil || p.Role != mpc.Alice {
+		return 0, err
+	}
+	if rel.Len() == 0 {
+		// The noise can cancel the aggregate to exactly zero, in which
+		// case the reveal suppresses the row; report zero.
+		return 0, nil
+	}
+	return rel.Annot[0], nil
+}

@@ -1,0 +1,359 @@
+// Package gc implements Yao's garbled circuits, the generic 2PC primitive
+// the Secure Yannakakis paper uses for all "small" computations: merge
+// gates in oblivious aggregation, annotation products in oblivious
+// semijoins, zero tests in the oblivious join, and the final division of
+// composed queries (paper §5.2, §6, §7).
+//
+// The garbling scheme is the modern standard: free-XOR, point-and-permute,
+// and half-gates (two ciphertexts per AND gate, zero per XOR/NOT gate),
+// over 128-bit wire labels hashed with a fixed-key AES MMO hash. The
+// evaluator obtains its input labels through the IKNP OT extension of
+// package ot. Evaluating a circuit takes a constant number of
+// communication rounds regardless of its depth, the property the paper
+// relies on for its constant-round operator protocols.
+package gc
+
+import "fmt"
+
+// Wire identifies a Boolean wire in a circuit.
+type Wire int32
+
+// GateKind enumerates the gate types of a circuit. NOT gates are free
+// (label-flip); XOR gates are free under free-XOR; only AND gates cost
+// communication (two 128-bit ciphertexts each).
+type GateKind uint8
+
+const (
+	// GateXOR computes Out = A ^ B.
+	GateXOR GateKind = iota
+	// GateAND computes Out = A & B.
+	GateAND
+	// GateNOT computes Out = !A (B is unused).
+	GateNOT
+	// GateXORG computes Out = A ^ p, where p is the garbler-private bit
+	// with index B. Free: the garbler flips the wire's semantics, the
+	// evaluator passes the label through. The evaluator never learns p.
+	GateXORG
+	// GateANDG computes Out = A & p for garbler-private bit index B, as a
+	// single-ciphertext garbler half-gate.
+	GateANDG
+)
+
+// Gate is one Boolean gate; inputs must be earlier wires (the builder
+// guarantees topological order).
+type Gate struct {
+	Kind GateKind
+	A, B Wire
+	Out  Wire
+}
+
+// Circuit is an immutable Boolean circuit produced by a Builder.
+type Circuit struct {
+	NumWires int
+	Gates    []Gate
+	// Const0 is a wire fixed to false; the garbler transmits its label.
+	Const0 Wire
+	// GarblerInputs and EvalInputs list input wires in the order the
+	// parties supply their bits.
+	GarblerInputs []Wire
+	EvalInputs    []Wire
+	// EvalOutputs and GarblerOutputs list output wires revealed to the
+	// respective party, in the order results are returned.
+	EvalOutputs    []Wire
+	GarblerOutputs []Wire
+	// NumAnd is the number of AND gates; NumAndG the number of ANDG
+	// gates. Together they determine the table size (2 blocks per AND,
+	// 1 per ANDG).
+	NumAnd  int
+	NumAndG int
+	// NumPrivate is the number of garbler-private bits referenced by
+	// XORG/ANDG gates. The garbler supplies them separately from its
+	// regular inputs; they cost no wire labels on the network.
+	NumPrivate int
+}
+
+// TableBlocks returns the number of 128-bit ciphertexts in the garbled
+// tables.
+func (c *Circuit) TableBlocks() int { return 2*c.NumAnd + c.NumAndG }
+
+// Builder constructs circuits. The zero value is not usable; call
+// NewBuilder.
+type Builder struct {
+	nWires int
+	gates  []Gate
+	const0 Wire
+	gIn    []Wire
+	eIn    []Wire
+	eOut   []Wire
+	gOut   []Wire
+	nAnd   int
+	nAndG  int
+	nPriv  int
+	built  bool
+	// cache for NOT-of-wire so repeated negations reuse a single gate
+	notCache map[Wire]Wire
+}
+
+// PBit indexes a garbler-private bit (see GateXORG/GateANDG).
+type PBit int32
+
+// NewBuilder returns an empty circuit builder with the constant-false
+// wire already allocated.
+func NewBuilder() *Builder {
+	b := &Builder{notCache: make(map[Wire]Wire)}
+	b.const0 = b.newWire()
+	return b
+}
+
+func (b *Builder) newWire() Wire {
+	w := Wire(b.nWires)
+	b.nWires++
+	return w
+}
+
+// Const0 returns the constant-false wire.
+func (b *Builder) Const0() Wire { return b.const0 }
+
+// Const1 returns a constant-true wire.
+func (b *Builder) Const1() Wire { return b.Not(b.const0) }
+
+// ConstBit returns a wire fixed to the given value.
+func (b *Builder) ConstBit(v bool) Wire {
+	if v {
+		return b.Const1()
+	}
+	return b.Const0()
+}
+
+// GarblerInput allocates one garbler-supplied input bit.
+func (b *Builder) GarblerInput() Wire {
+	w := b.newWire()
+	b.gIn = append(b.gIn, w)
+	return w
+}
+
+// EvalInput allocates one evaluator-supplied input bit.
+func (b *Builder) EvalInput() Wire {
+	w := b.newWire()
+	b.eIn = append(b.eIn, w)
+	return w
+}
+
+// XOR emits x ^ y.
+func (b *Builder) XOR(x, y Wire) Wire {
+	out := b.newWire()
+	b.gates = append(b.gates, Gate{GateXOR, x, y, out})
+	return out
+}
+
+// AND emits x & y.
+func (b *Builder) AND(x, y Wire) Wire {
+	out := b.newWire()
+	b.gates = append(b.gates, Gate{GateAND, x, y, out})
+	b.nAnd++
+	return out
+}
+
+// Not emits !x (free).
+func (b *Builder) Not(x Wire) Wire {
+	if w, ok := b.notCache[x]; ok {
+		return w
+	}
+	out := b.newWire()
+	b.gates = append(b.gates, Gate{GateNOT, x, x, out})
+	b.notCache[x] = out
+	return out
+}
+
+// OR emits x | y (one AND gate: x|y = (x^y) ^ (x&y)).
+func (b *Builder) OR(x, y Wire) Wire {
+	return b.XOR(b.XOR(x, y), b.AND(x, y))
+}
+
+// Mux emits sel ? x : y, one AND gate per call.
+func (b *Builder) Mux(sel, x, y Wire) Wire {
+	return b.XOR(y, b.AND(sel, b.XOR(x, y)))
+}
+
+// PrivateBit allocates one garbler-private bit. It is free on the wire:
+// the garbler folds its value into the gates that consume it. Use it for
+// garbler-side constants (e.g. the PSI sender's keys and payloads) that
+// would otherwise waste a 128-bit input label per bit.
+func (b *Builder) PrivateBit() PBit {
+	p := PBit(b.nPriv)
+	b.nPriv++
+	return p
+}
+
+// PrivateWord allocates n garbler-private bits.
+func (b *Builder) PrivateWord(n int) []PBit {
+	ps := make([]PBit, n)
+	for i := range ps {
+		ps[i] = b.PrivateBit()
+	}
+	return ps
+}
+
+// XORG emits x ^ p for a garbler-private bit (free).
+func (b *Builder) XORG(x Wire, p PBit) Wire {
+	out := b.newWire()
+	b.gates = append(b.gates, Gate{GateXORG, x, Wire(p), out})
+	return out
+}
+
+// ANDG emits x & p for a garbler-private bit (one ciphertext).
+func (b *Builder) ANDG(x Wire, p PBit) Wire {
+	out := b.newWire()
+	b.gates = append(b.gates, Gate{GateANDG, x, Wire(p), out})
+	b.nAndG++
+	return out
+}
+
+// XORGWord XORs a garbler-private word into x (free).
+func (b *Builder) XORGWord(x Word, ps []PBit) Word {
+	if len(x) != len(ps) {
+		panic("gc: XORGWord width mismatch")
+	}
+	out := make(Word, len(x))
+	for i := range x {
+		out[i] = b.XORG(x[i], ps[i])
+	}
+	return out
+}
+
+// ANDGWordBit masks a garbler-private word with wire s: out_i = s & ps_i.
+func (b *Builder) ANDGWordBit(ps []PBit, s Wire) Word {
+	out := make(Word, len(ps))
+	for i := range ps {
+		out[i] = b.ANDG(s, ps[i])
+	}
+	return out
+}
+
+// EqPrivate returns a wire that is 1 iff the public-wire word x equals the
+// garbler-private word ps. It costs len-1 AND gates (the XORs are free).
+func (b *Builder) EqPrivate(x Word, ps []PBit) Wire {
+	return b.IsZero(b.XORGWord(x, ps))
+}
+
+// OutputToEval marks w as an output revealed to the evaluator.
+func (b *Builder) OutputToEval(w Wire) { b.eOut = append(b.eOut, w) }
+
+// OutputToGarbler marks w as an output revealed to the garbler.
+func (b *Builder) OutputToGarbler(w Wire) { b.gOut = append(b.gOut, w) }
+
+// Build finalizes the circuit. The builder must not be used afterwards.
+func (b *Builder) Build() *Circuit {
+	if b.built {
+		panic("gc: Build called twice")
+	}
+	b.built = true
+	return &Circuit{
+		NumWires:       b.nWires,
+		Gates:          b.gates,
+		Const0:         b.const0,
+		GarblerInputs:  b.gIn,
+		EvalInputs:     b.eIn,
+		EvalOutputs:    b.eOut,
+		GarblerOutputs: b.gOut,
+		NumAnd:         b.nAnd,
+		NumAndG:        b.nAndG,
+		NumPrivate:     b.nPriv,
+	}
+}
+
+// Validate checks wire ordering invariants; used by tests and when
+// accepting circuits from untrusted descriptions.
+func (c *Circuit) Validate() error {
+	defined := make([]bool, c.NumWires)
+	mark := func(w Wire) error {
+		if int(w) >= c.NumWires || w < 0 {
+			return fmt.Errorf("gc: wire %d out of range", w)
+		}
+		defined[w] = true
+		return nil
+	}
+	if err := mark(c.Const0); err != nil {
+		return err
+	}
+	for _, w := range c.GarblerInputs {
+		if err := mark(w); err != nil {
+			return err
+		}
+	}
+	for _, w := range c.EvalInputs {
+		if err := mark(w); err != nil {
+			return err
+		}
+	}
+	for _, g := range c.Gates {
+		if int(g.A) >= c.NumWires || int(g.Out) >= c.NumWires {
+			return fmt.Errorf("gc: gate wires out of range: %+v", g)
+		}
+		switch g.Kind {
+		case GateXORG, GateANDG:
+			if int(g.B) >= c.NumPrivate || g.B < 0 {
+				return fmt.Errorf("gc: gate references private bit %d of %d: %+v", g.B, c.NumPrivate, g)
+			}
+		case GateNOT:
+		default:
+			if int(g.B) >= c.NumWires || g.B < 0 || !defined[g.B] {
+				return fmt.Errorf("gc: gate reads undefined wire: %+v", g)
+			}
+		}
+		if !defined[g.A] {
+			return fmt.Errorf("gc: gate reads undefined wire: %+v", g)
+		}
+		if defined[g.Out] {
+			return fmt.Errorf("gc: wire %d defined twice", g.Out)
+		}
+		defined[g.Out] = true
+	}
+	for _, w := range append(append([]Wire{}, c.EvalOutputs...), c.GarblerOutputs...) {
+		if int(w) >= c.NumWires || !defined[w] {
+			return fmt.Errorf("gc: output wire %d undefined", w)
+		}
+	}
+	return nil
+}
+
+// EvalPlain evaluates the circuit in the clear; used by tests and by the
+// garbled-circuit cost baseline. privBits supplies the garbler-private
+// bits (may be nil when the circuit uses none). Returns
+// evaluator-destined and garbler-destined outputs.
+func (c *Circuit) EvalPlain(garblerBits, evalBits, privBits []bool) (evalOut, garblerOut []bool, err error) {
+	if len(garblerBits) != len(c.GarblerInputs) || len(evalBits) != len(c.EvalInputs) || len(privBits) != c.NumPrivate {
+		return nil, nil, fmt.Errorf("gc: EvalPlain input count mismatch (%d/%d garbler, %d/%d eval, %d/%d private)",
+			len(garblerBits), len(c.GarblerInputs), len(evalBits), len(c.EvalInputs), len(privBits), c.NumPrivate)
+	}
+	vals := make([]bool, c.NumWires)
+	for i, w := range c.GarblerInputs {
+		vals[w] = garblerBits[i]
+	}
+	for i, w := range c.EvalInputs {
+		vals[w] = evalBits[i]
+	}
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case GateXOR:
+			vals[g.Out] = vals[g.A] != vals[g.B]
+		case GateAND:
+			vals[g.Out] = vals[g.A] && vals[g.B]
+		case GateNOT:
+			vals[g.Out] = !vals[g.A]
+		case GateXORG:
+			vals[g.Out] = vals[g.A] != privBits[g.B]
+		case GateANDG:
+			vals[g.Out] = vals[g.A] && privBits[g.B]
+		}
+	}
+	evalOut = make([]bool, len(c.EvalOutputs))
+	for i, w := range c.EvalOutputs {
+		evalOut[i] = vals[w]
+	}
+	garblerOut = make([]bool, len(c.GarblerOutputs))
+	for i, w := range c.GarblerOutputs {
+		garblerOut[i] = vals[w]
+	}
+	return evalOut, garblerOut, nil
+}

@@ -1,0 +1,163 @@
+package gc
+
+import (
+	"fmt"
+
+	"secyan/internal/prf"
+)
+
+// garbled holds the garbler's view of a garbled circuit: the zero-label of
+// every wire, the global free-XOR offset Δ, and the AND-gate tables.
+type garbled struct {
+	delta  prf.Block
+	labels []prf.Block // zero labels, indexed by wire
+	tables []prf.Block // two blocks per AND gate, in gate order
+}
+
+// garble garbles c using randomness from g. The point-and-permute
+// invariant lsb(Δ)=1 makes the label's LSB a masked truth value. priv
+// supplies the garbler-private bits consumed by XORG/ANDG gates.
+func garble(c *Circuit, g *prf.PRG, priv []bool) *garbled {
+	gb := &garbled{
+		labels: make([]prf.Block, c.NumWires),
+		tables: make([]prf.Block, 0, c.TableBlocks()),
+	}
+	randBlock := func() prf.Block {
+		var b prf.Block
+		g.Read(b[:])
+		return b
+	}
+	gb.delta = randBlock()
+	gb.delta[15] |= 1 // lsb(Δ) = 1 for point-and-permute
+
+	gb.labels[c.Const0] = randBlock()
+	for _, w := range c.GarblerInputs {
+		gb.labels[w] = randBlock()
+	}
+	for _, w := range c.EvalInputs {
+		gb.labels[w] = randBlock()
+	}
+
+	var tweak uint64
+	for _, gate := range c.Gates {
+		switch gate.Kind {
+		case GateXOR:
+			gb.labels[gate.Out] = prf.XORBlockValue(gb.labels[gate.A], gb.labels[gate.B])
+		case GateNOT:
+			// The zero-label of the output is the one-label of the input.
+			gb.labels[gate.Out] = prf.XORBlockValue(gb.labels[gate.A], gb.delta)
+		case GateAND:
+			a0 := gb.labels[gate.A]
+			b0 := gb.labels[gate.B]
+			a1 := prf.XORBlockValue(a0, gb.delta)
+			b1 := prf.XORBlockValue(b0, gb.delta)
+			pa := a0.LSB()
+			pb := b0.LSB()
+			t1 := tweak
+			t2 := tweak + 1
+			tweak += 2
+
+			// Garbler half-gate.
+			ha0 := prf.HashBlock(a0, t1)
+			ha1 := prf.HashBlock(a1, t1)
+			tg := prf.XORBlockValue(ha0, ha1)
+			if pb == 1 {
+				tg = prf.XORBlockValue(tg, gb.delta)
+			}
+			wg := ha0
+			if pa == 1 {
+				wg = prf.XORBlockValue(wg, tg)
+			}
+
+			// Evaluator half-gate.
+			hb0 := prf.HashBlock(b0, t2)
+			hb1 := prf.HashBlock(b1, t2)
+			te := prf.XORBlockValue(prf.XORBlockValue(hb0, hb1), a0)
+			we := hb0
+			if pb == 1 {
+				we = prf.XORBlockValue(we, prf.XORBlockValue(te, a0))
+			}
+
+			gb.labels[gate.Out] = prf.XORBlockValue(wg, we)
+			gb.tables = append(gb.tables, tg, te)
+		case GateXORG:
+			// XOR with a garbler-private constant: flip the zero-label's
+			// meaning when the bit is set. Free for the evaluator.
+			l := gb.labels[gate.A]
+			if priv[gate.B] {
+				l = prf.XORBlockValue(l, gb.delta)
+			}
+			gb.labels[gate.Out] = l
+		case GateANDG:
+			// AND with a garbler-private constant: a single garbler
+			// half-gate (one ciphertext).
+			a0 := gb.labels[gate.A]
+			a1 := prf.XORBlockValue(a0, gb.delta)
+			pa := a0.LSB()
+			t := tweak
+			tweak++
+			ha0 := prf.HashBlock(a0, t)
+			ha1 := prf.HashBlock(a1, t)
+			tg := prf.XORBlockValue(ha0, ha1)
+			if priv[gate.B] {
+				tg = prf.XORBlockValue(tg, gb.delta)
+			}
+			out := ha0
+			if pa == 1 {
+				out = prf.XORBlockValue(out, tg)
+			}
+			gb.labels[gate.Out] = out
+			gb.tables = append(gb.tables, tg)
+		}
+	}
+	return gb
+}
+
+// evaluate runs the evaluator side over active labels. active must contain
+// the active labels of Const0, all inputs; tables are the AND tables.
+func evaluate(c *Circuit, active []prf.Block, tables []prf.Block) error {
+	if len(tables) != c.TableBlocks() {
+		return fmt.Errorf("gc: got %d table blocks, want %d", len(tables), c.TableBlocks())
+	}
+	var tweak uint64
+	ti := 0
+	for _, gate := range c.Gates {
+		switch gate.Kind {
+		case GateXOR:
+			active[gate.Out] = prf.XORBlockValue(active[gate.A], active[gate.B])
+		case GateNOT:
+			active[gate.Out] = active[gate.A]
+		case GateAND:
+			wa := active[gate.A]
+			wb := active[gate.B]
+			sa := wa.LSB()
+			sb := wb.LSB()
+			tg := tables[ti]
+			te := tables[ti+1]
+			ti += 2
+			wg := prf.HashBlock(wa, tweak)
+			if sa == 1 {
+				wg = prf.XORBlockValue(wg, tg)
+			}
+			we := prf.HashBlock(wb, tweak+1)
+			if sb == 1 {
+				we = prf.XORBlockValue(we, prf.XORBlockValue(te, wa))
+			}
+			tweak += 2
+			active[gate.Out] = prf.XORBlockValue(wg, we)
+		case GateXORG:
+			active[gate.Out] = active[gate.A]
+		case GateANDG:
+			wa := active[gate.A]
+			tg := tables[ti]
+			ti++
+			out := prf.HashBlock(wa, tweak)
+			tweak++
+			if wa.LSB() == 1 {
+				out = prf.XORBlockValue(out, tg)
+			}
+			active[gate.Out] = out
+		}
+	}
+	return nil
+}

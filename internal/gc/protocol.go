@@ -1,0 +1,143 @@
+package gc
+
+import (
+	"fmt"
+
+	"secyan/internal/bitutil"
+	"secyan/internal/ot"
+	"secyan/internal/prf"
+	"secyan/internal/transport"
+)
+
+// RunGarbler executes the 2PC evaluation of c as the garbling party.
+// inputs are the garbler's private input bits (len(c.GarblerInputs)).
+// It returns the bits of c.GarblerOutputs. The protocol is:
+//
+//  1. garbler → evaluator: AND tables ‖ const label ‖ active garbler input
+//     labels ‖ evaluator-output decode bits
+//  2. one OT batch delivering the evaluator's input labels
+//  3. evaluator → garbler: masked bits of garbler outputs (if any)
+//
+// This is a constant number of rounds regardless of circuit size or depth,
+// the property the paper's operator protocols rely on (§5.2).
+func RunGarbler(conn transport.Conn, otSend *ot.Sender, c *Circuit, inputs, priv []bool) ([]bool, error) {
+	if len(inputs) != len(c.GarblerInputs) {
+		return nil, fmt.Errorf("gc: garbler got %d input bits, want %d", len(inputs), len(c.GarblerInputs))
+	}
+	if len(priv) != c.NumPrivate {
+		return nil, fmt.Errorf("gc: garbler got %d private bits, want %d", len(priv), c.NumPrivate)
+	}
+	gb := garble(c, prf.NewPRG(prf.RandomSeed()), priv)
+
+	msg := make([]byte, 0,
+		16*len(gb.tables)+16+16*len(c.GarblerInputs)+(len(c.EvalOutputs)+7)/8)
+	for _, t := range gb.tables {
+		msg = append(msg, t[:]...)
+	}
+	msg = append(msg, gb.labels[c.Const0][:]...)
+	for i, w := range c.GarblerInputs {
+		l := gb.labels[w]
+		if inputs[i] {
+			l = prf.XORBlockValue(l, gb.delta)
+		}
+		msg = append(msg, l[:]...)
+	}
+	decode := bitutil.NewVector(len(c.EvalOutputs))
+	for i, w := range c.EvalOutputs {
+		decode.Set(i, gb.labels[w].LSB() == 1)
+	}
+	msg = append(msg, decode.Bytes()...)
+	if err := conn.Send(msg); err != nil {
+		return nil, err
+	}
+
+	// Evaluator input labels via OT.
+	if len(c.EvalInputs) > 0 {
+		pairs := make([][2][]byte, len(c.EvalInputs))
+		for i, w := range c.EvalInputs {
+			l0 := gb.labels[w]
+			l1 := prf.XORBlockValue(l0, gb.delta)
+			pairs[i] = [2][]byte{l0[:], l1[:]}
+		}
+		if err := otSend.Send(pairs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Garbler outputs: the evaluator returns lsb(active); unmask with
+	// lsb(zero label).
+	if len(c.GarblerOutputs) == 0 {
+		return nil, nil
+	}
+	maskedMsg, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	masked := bitutil.VectorFromBytes(maskedMsg, len(c.GarblerOutputs))
+	out := make([]bool, len(c.GarblerOutputs))
+	for i, w := range c.GarblerOutputs {
+		out[i] = masked.Get(i) != (gb.labels[w].LSB() == 1)
+	}
+	return out, nil
+}
+
+// RunEvaluator executes the 2PC evaluation of c as the evaluating party.
+// inputs are the evaluator's private input bits. It returns the bits of
+// c.EvalOutputs.
+func RunEvaluator(conn transport.Conn, otRecv *ot.Receiver, c *Circuit, inputs []bool) ([]bool, error) {
+	if len(inputs) != len(c.EvalInputs) {
+		return nil, fmt.Errorf("gc: evaluator got %d input bits, want %d", len(inputs), len(c.EvalInputs))
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	wantLen := 16*c.TableBlocks() + 16 + 16*len(c.GarblerInputs) + (len(c.EvalOutputs)+7)/8
+	if len(msg) != wantLen {
+		return nil, fmt.Errorf("gc: garbled message has %d bytes, want %d", len(msg), wantLen)
+	}
+	tables := make([]prf.Block, c.TableBlocks())
+	off := 0
+	for i := range tables {
+		copy(tables[i][:], msg[off:off+16])
+		off += 16
+	}
+	active := make([]prf.Block, c.NumWires)
+	copy(active[c.Const0][:], msg[off:off+16])
+	off += 16
+	for _, w := range c.GarblerInputs {
+		copy(active[w][:], msg[off:off+16])
+		off += 16
+	}
+	decode := bitutil.VectorFromBytes(msg[off:], len(c.EvalOutputs))
+
+	if len(c.EvalInputs) > 0 {
+		labels, err := otRecv.Receive(inputs, 16)
+		if err != nil {
+			return nil, err
+		}
+		for i, w := range c.EvalInputs {
+			copy(active[w][:], labels[i])
+		}
+	}
+
+	if err := evaluate(c, active, tables); err != nil {
+		return nil, err
+	}
+
+	if len(c.GarblerOutputs) > 0 {
+		masked := bitutil.NewVector(len(c.GarblerOutputs))
+		for i, w := range c.GarblerOutputs {
+			masked.Set(i, active[w].LSB() == 1)
+		}
+		if err := conn.Send(masked.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+
+	out := make([]bool, len(c.EvalOutputs))
+	for i, w := range c.EvalOutputs {
+		out[i] = (active[w].LSB() == 1) != decode.Get(i)
+	}
+	return out, nil
+}

@@ -1,0 +1,124 @@
+package gcbaseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"secyan/internal/mpc"
+	"secyan/internal/share"
+)
+
+// TestRunMatchesNaiveJoin checks the real Cartesian circuit against a
+// plaintext nested-loop evaluation.
+func TestRunMatchesNaiveJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mk := func(owner mpc.Role, n int) Relation {
+		r := Relation{Owner: owner}
+		for i := 0; i < n; i++ {
+			r.Keys = append(r.Keys, []uint64{rng.Uint64() % 4, rng.Uint64() % 4})
+			r.Annot = append(r.Annot, rng.Uint64()%50)
+		}
+		return r
+	}
+	rels := []Relation{mk(mpc.Alice, 5), mk(mpc.Bob, 6), mk(mpc.Alice, 4)}
+	conds := []Cond{{0, 1, 1, 0}, {1, 1, 2, 0}}
+
+	var want uint64
+	for i := range rels[0].Keys {
+		for j := range rels[1].Keys {
+			for k := range rels[2].Keys {
+				if rels[0].Keys[i][1] == rels[1].Keys[j][0] && rels[1].Keys[j][1] == rels[2].Keys[k][0] {
+					want += rels[0].Annot[i] * rels[1].Annot[j] * rels[2].Annot[k]
+				}
+			}
+		}
+	}
+
+	alice, bob := mpc.Pair(share.Ring{Bits: 32})
+	defer alice.Conn.Close()
+	defer bob.Conn.Close()
+	type res struct {
+		v uint64
+		c Cost
+	}
+	got, _, err := mpc.Run2PC(alice, bob,
+		func(p *mpc.Party) (res, error) {
+			v, c, err := Run(p, rels, conds)
+			return res{v, c}, err
+		},
+		func(p *mpc.Party) (res, error) {
+			v, c, err := Run(p, rels, conds)
+			return res{v, c}, err
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.v != want&0xFFFFFFFF {
+		t.Fatalf("baseline total: got %d, want %d", got.v, want)
+	}
+	if got.c.AndGates == 0 || got.c.Bytes == 0 || got.c.Seconds <= 0 {
+		t.Fatalf("cost not measured: %+v", got.c)
+	}
+}
+
+func TestEstimateScalesWithProduct(t *testing.T) {
+	cal := DefaultCalibration
+	small := Estimate(SpecForSizes(32, 10, 10, 10), cal)
+	big := Estimate(SpecForSizes(32, 100, 100, 100), cal)
+	ratio := big.AndGates / small.AndGates
+	if ratio < 999 || ratio > 1001 {
+		t.Fatalf("cubic scaling broken: ratio %f", ratio)
+	}
+	if !big.Extrapolated {
+		t.Fatal("Estimate must mark results as extrapolated")
+	}
+	if big.Bytes <= small.Bytes || big.Seconds <= small.Seconds {
+		t.Fatal("cost must grow")
+	}
+}
+
+func TestEstimateClampsHugeDurations(t *testing.T) {
+	// The paper's 100 MB Q3 baseline is ~300 years; the float cost must
+	// stay finite and positive.
+	c := Estimate(SpecForSizes(32, 15000, 150000, 600000), DefaultCalibration)
+	if c.Seconds <= 0 || c.Seconds > 1e18 {
+		t.Fatalf("implausible extrapolated seconds: %v", c.Seconds)
+	}
+	if years := c.Seconds / (365 * 24 * 3600); years < 1 {
+		t.Fatalf("expected a multi-year estimate, got %.2f years", years)
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	alice, bob := mpc.Pair(share.Ring{Bits: 32})
+	defer alice.Conn.Close()
+	defer bob.Conn.Close()
+	calA, _, err := mpc.Run2PC(alice, bob,
+		func(p *mpc.Party) (Calibration, error) { return Calibrate(p) },
+		func(p *mpc.Party) (Calibration, error) { return Calibrate(p) },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calA.SecondsPerGate <= 0 || calA.BytesPerGate <= 0 {
+		t.Fatalf("calibration: %+v", calA)
+	}
+	// Bytes per AND gate should be in the ballpark of two ciphertexts.
+	if calA.BytesPerGate < 16 || calA.BytesPerGate > 2000 {
+		t.Fatalf("bytes per gate implausible: %f", calA.BytesPerGate)
+	}
+}
+
+func TestRunRejectsHugeInputs(t *testing.T) {
+	alice, _ := mpc.Pair(share.Ring{Bits: 32})
+	defer alice.Conn.Close()
+	big := Relation{Owner: mpc.Alice}
+	for i := 0; i < 3000; i++ {
+		big.Keys = append(big.Keys, []uint64{0})
+		big.Annot = append(big.Annot, 0)
+	}
+	if _, _, err := Run(alice, []Relation{big, big, big}, nil); err == nil {
+		t.Fatal("expected cap error")
+	}
+}

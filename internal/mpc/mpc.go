@@ -1,0 +1,193 @@
+// Package mpc holds the per-party session context shared by every 2PC
+// protocol in this repository: the connection to the peer, the party's
+// role, the annotation ring, local randomness, and lazily established
+// OT-extension sessions in both directions.
+//
+// The convention throughout the repository follows the paper: the two
+// parties are Alice (role 0, the designated receiver of query results)
+// and Bob (role 1). Protocol functions take a *Party and are written so
+// that both parties call the same sequence of sub-protocols in the same
+// order, which keeps the lazily created OT sessions aligned.
+package mpc
+
+import (
+	"fmt"
+
+	"secyan/internal/gc"
+	"secyan/internal/ot"
+	"secyan/internal/prf"
+	"secyan/internal/share"
+	"secyan/internal/transport"
+)
+
+// Role identifies a party.
+type Role int
+
+const (
+	// Alice is the designated receiver of query results.
+	Alice Role = 0
+	// Bob is the other party.
+	Bob Role = 1
+)
+
+// Other returns the peer's role.
+func (r Role) Other() Role { return 1 - r }
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	if r == Alice {
+		return "Alice"
+	}
+	return "Bob"
+}
+
+// Party is one endpoint of a 2PC session.
+type Party struct {
+	Role Role
+	Conn transport.Conn
+	Ring share.Ring
+	PRG  *prf.PRG
+
+	otSend *ot.Sender   // this party as OT sender
+	otRecv *ot.Receiver // this party as OT receiver
+}
+
+// NewParty creates a session context. Ring defaults to share.Default when
+// zero.
+func NewParty(role Role, conn transport.Conn, ring share.Ring) *Party {
+	if ring.Bits == 0 {
+		ring = share.Default
+	}
+	return &Party{Role: role, Conn: conn, Ring: ring, PRG: prf.NewPRG(prf.RandomSeed())}
+}
+
+// OTSender returns this party's sending OT-extension session, creating it
+// (together with its base OTs) on first use. The peer must call OTReceiver
+// at the matching point of the protocol.
+func (p *Party) OTSender() (*ot.Sender, error) {
+	if p.otSend == nil {
+		s, err := ot.NewSender(p.Conn)
+		if err != nil {
+			return nil, fmt.Errorf("mpc: %v OT sender setup: %w", p.Role, err)
+		}
+		p.otSend = s
+	}
+	return p.otSend, nil
+}
+
+// OTReceiver returns this party's receiving OT-extension session, creating
+// it on first use.
+func (p *Party) OTReceiver() (*ot.Receiver, error) {
+	if p.otRecv == nil {
+		r, err := ot.NewReceiver(p.Conn)
+		if err != nil {
+			return nil, fmt.Errorf("mpc: %v OT receiver setup: %w", p.Role, err)
+		}
+		p.otRecv = r
+	}
+	return p.otRecv, nil
+}
+
+// RunCircuit evaluates circuit c with the given party acting as garbler.
+// myInputs are this party's input bits (garbler inputs if this party
+// garbles, evaluator inputs otherwise); the returned bits are the outputs
+// destined to this party.
+func (p *Party) RunCircuit(c *gc.Circuit, myInputs, myPriv []bool, garbler Role) ([]bool, error) {
+	if p.Role == garbler {
+		snd, err := p.OTSender()
+		if err != nil {
+			return nil, err
+		}
+		return gc.RunGarbler(p.Conn, snd, c, myInputs, myPriv)
+	}
+	rcv, err := p.OTReceiver()
+	if err != nil {
+		return nil, err
+	}
+	return gc.RunEvaluator(p.Conn, rcv, c, myInputs)
+}
+
+// Pair returns two connected in-memory parties, for tests and in-process
+// benchmarks.
+func Pair(ring share.Ring) (*Party, *Party) {
+	ca, cb := transport.Pair()
+	return NewParty(Alice, ca, ring), NewParty(Bob, cb, ring)
+}
+
+// Run2PC runs alice's and bob's protocol halves concurrently and returns
+// both results. It is the standard driver for in-process execution: the
+// benchmark harness, the examples and the tests all use it.
+func Run2PC[A, B any](alice *Party, bob *Party, fa func(*Party) (A, error), fb func(*Party) (B, error)) (A, B, error) {
+	type bres struct {
+		v   B
+		err error
+	}
+	ch := make(chan bres, 1)
+	go func() {
+		v, err := fb(bob)
+		if err != nil {
+			// Unblock the peer: a failed party can no longer keep the
+			// protocol in lockstep, so tear the connection down.
+			bob.Conn.Close()
+		}
+		ch <- bres{v, err}
+	}()
+	av, aerr := fa(alice)
+	if aerr != nil {
+		alice.Conn.Close()
+	}
+	br := <-ch
+	if aerr != nil {
+		return av, br.v, fmt.Errorf("mpc: Alice: %w", aerr)
+	}
+	if br.err != nil {
+		return av, br.v, fmt.Errorf("mpc: Bob: %w", br.err)
+	}
+	return av, br.v, nil
+}
+
+// ShareToPeer secret-shares values this party holds in plaintext: it keeps
+// one share and sends the other to the peer.
+func (p *Party) ShareToPeer(vs []uint64) ([]uint64, error) {
+	mine := make([]uint64, len(vs))
+	theirs := make([]uint64, len(vs))
+	for i, v := range vs {
+		mine[i], theirs[i] = p.Ring.Split(p.PRG, v)
+	}
+	if err := transport.SendUint64s(p.Conn, theirs); err != nil {
+		return nil, err
+	}
+	return mine, nil
+}
+
+// RecvShares receives the shares produced by the peer's ShareToPeer.
+func (p *Party) RecvShares(n int) ([]uint64, error) {
+	vs, err := transport.RecvUint64s(p.Conn)
+	if err != nil {
+		return nil, err
+	}
+	if len(vs) != n {
+		return nil, fmt.Errorf("mpc: expected %d shares, got %d", n, len(vs))
+	}
+	return vs, nil
+}
+
+// RevealToPeer sends this party's shares so the peer can reconstruct; it
+// is used only for values that are part of the query results or otherwise
+// public (paper §5.1).
+func (p *Party) RevealToPeer(myShares []uint64) error {
+	return transport.SendUint64s(p.Conn, myShares)
+}
+
+// RecvReveal combines the peer's shares with this party's to reconstruct
+// the values.
+func (p *Party) RecvReveal(myShares []uint64) ([]uint64, error) {
+	theirs, err := transport.RecvUint64s(p.Conn)
+	if err != nil {
+		return nil, err
+	}
+	if len(theirs) != len(myShares) {
+		return nil, fmt.Errorf("mpc: reveal share count mismatch: %d vs %d", len(theirs), len(myShares))
+	}
+	return p.Ring.CombineSlice(myShares, theirs), nil
+}

@@ -1,0 +1,258 @@
+// Package oep implements the oblivious extended permutation protocol of
+// paper §5.4 (Mohassel–Sadeghian style): one party (the *programmer*)
+// holds a private extended permutation ξ:[N]→[M]; both parties hold
+// additive shares of a length-M vector; the protocol produces fresh
+// additive shares of the length-N vector y with y_i = x_{ξ(i)}, revealing
+// neither ξ nor any value.
+//
+// Construction: the extended permutation is decomposed by package permnet
+// into conditional-swap and duplication gates. The helper locally
+// simulates the network over its own shares, drawing a fresh random share
+// for every gate output and emitting, for each gate, the pair of masked
+// messages corresponding to the two settings of the gate's control bit.
+// One 1-out-of-2 OT per gate delivers the programmer's selection. Because
+// the helper's fresh shares are chosen up front, all OTs run in a single
+// batch: the whole protocol is one OT round regardless of vector length,
+// preserving the constant-round property the paper's operators need.
+//
+// Shares are carried modulo 2^64 (which projects onto any ring Z_{2^ℓ},
+// see package share); every output position is re-randomized, so the
+// output shares reveal nothing about the inputs (§5.4's "fresh
+// randomness" remark).
+package oep
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"secyan/internal/mpc"
+	"secyan/internal/permnet"
+)
+
+// msgLen is the OT message length: two uint64 values (swap gates use
+// both; duplication gates use the first and pad the second).
+const msgLen = 16
+
+// gateKind distinguishes the two oblivious gate types.
+type gateKind uint8
+
+const (
+	gateSwap gateKind = iota
+	gateDup
+)
+
+// gate is one oblivious gate over working-vector positions.
+type gate struct {
+	kind gateKind
+	p, q int // swap: positions; dup: q = target, p = source (q-1)
+}
+
+// plan lists the gates of an extended (or plain) permutation network in
+// evaluation order. Both parties derive the identical plan from public
+// sizes.
+type plan struct {
+	width int
+	gates []gate
+}
+
+// buildPlan constructs the public gate sequence for an OEP from m inputs
+// to n outputs. If bijection is true (m == n and ξ is promised to be a
+// permutation), the duplication stage and second network are omitted —
+// the optimization used when permuting shares by a random permutation
+// (paper §5.5) or by a sort order (§6.1).
+func buildPlan(m, n int, bijection bool) (*plan, *permnet.Extended, error) {
+	if bijection {
+		if m != n {
+			return nil, nil, fmt.Errorf("oep: bijection requires m == n, got %d and %d", m, n)
+		}
+		w := permnet.CeilPow2(maxInt(m, 2))
+		net := permnet.New(w)
+		pl := &plan{width: w}
+		for _, sw := range net.Swaps {
+			pl.gates = append(pl.gates, gate{gateSwap, int(sw[0]), int(sw[1])})
+		}
+		return pl, &permnet.Extended{M: m, N: n, W: w, Pre: net}, nil
+	}
+	ext := permnet.NewExtended(m, n)
+	pl := &plan{width: ext.W}
+	for _, sw := range ext.Pre.Swaps {
+		pl.gates = append(pl.gates, gate{gateSwap, int(sw[0]), int(sw[1])})
+	}
+	for j := 1; j < ext.W; j++ {
+		pl.gates = append(pl.gates, gate{gateDup, j - 1, j})
+	}
+	for _, sw := range ext.Post.Swaps {
+		pl.gates = append(pl.gates, gate{gateSwap, int(sw[0]), int(sw[1])})
+	}
+	return pl, ext, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// programBits flattens the control bits of an extended-permutation
+// program in plan order.
+func programBits(pl *plan, prog *permnet.Program, bijection bool) []bool {
+	if bijection {
+		return prog.PreBits
+	}
+	bits := make([]bool, 0, len(pl.gates))
+	bits = append(bits, prog.PreBits...)
+	bits = append(bits, prog.DupBits...)
+	bits = append(bits, prog.PostBits...)
+	return bits
+}
+
+// RunProgrammer executes the OEP as the party holding ξ. xi[i] ∈ [0,m) is
+// the source of output i; myShares is this party's share vector of the
+// m inputs. Returns this party's fresh shares of the n outputs.
+func RunProgrammer(p *mpc.Party, xi []int, m int, myShares []uint64) ([]uint64, error) {
+	return runProgrammer(p, xi, m, len(xi), myShares, false)
+}
+
+// RunHelper is the counterpart of RunProgrammer for the party without ξ.
+// m and n are the public input/output lengths.
+func RunHelper(p *mpc.Party, m, n int, myShares []uint64) ([]uint64, error) {
+	return runHelper(p, m, n, myShares, false)
+}
+
+// RunPermuteProgrammer executes the cheaper bijection-only variant: xi
+// must be a permutation of [0,len(xi)).
+func RunPermuteProgrammer(p *mpc.Party, xi []int, myShares []uint64) ([]uint64, error) {
+	return runProgrammer(p, xi, len(xi), len(xi), myShares, true)
+}
+
+// RunPermuteHelper is the helper side of RunPermuteProgrammer; n is the
+// public vector length.
+func RunPermuteHelper(p *mpc.Party, n int, myShares []uint64) ([]uint64, error) {
+	return runHelper(p, n, n, myShares, true)
+}
+
+func runProgrammer(p *mpc.Party, xi []int, m, n int, myShares []uint64, bijection bool) ([]uint64, error) {
+	if len(myShares) != m {
+		return nil, fmt.Errorf("oep: programmer has %d shares, want %d", len(myShares), m)
+	}
+	pl, ext, err := buildPlan(m, n, bijection)
+	if err != nil {
+		return nil, err
+	}
+	var bits []bool
+	if bijection {
+		// Embed xi into the padded width with identity on the padding.
+		dest := make([]int, pl.width)
+		for i := range dest {
+			dest[i] = i
+		}
+		for i, s := range xi {
+			// xi maps output i ← input s; the network routes input s to
+			// position i, i.e. dest[s] = i.
+			if s < 0 || s >= m {
+				return nil, fmt.Errorf("oep: xi[%d] = %d out of range", i, s)
+			}
+			dest[s] = i
+		}
+		bs, err := ext.Pre.Route(dest)
+		if err != nil {
+			return nil, err
+		}
+		bits = bs
+	} else {
+		prog, err := ext.Route(xi)
+		if err != nil {
+			return nil, err
+		}
+		bits = programBits(pl, prog, false)
+	}
+	if len(bits) != len(pl.gates) {
+		return nil, fmt.Errorf("oep: %d control bits for %d gates", len(bits), len(pl.gates))
+	}
+
+	recv, err := p.OTReceiver()
+	if err != nil {
+		return nil, err
+	}
+	msgs, err := recv.Receive(bits, msgLen)
+	if err != nil {
+		return nil, err
+	}
+
+	// Simulate the network over this party's shares, applying the selected
+	// corrections.
+	state := make([]uint64, pl.width)
+	copy(state, myShares)
+	for gi, g := range pl.gates {
+		a := binary.LittleEndian.Uint64(msgs[gi][:8])
+		b := binary.LittleEndian.Uint64(msgs[gi][8:])
+		switch g.kind {
+		case gateSwap:
+			sp, sq := state[g.p], state[g.q]
+			if bits[gi] {
+				sp, sq = sq, sp
+			}
+			state[g.p] = sp + a
+			state[g.q] = sq + b
+		case gateDup:
+			src := state[g.q]
+			if bits[gi] {
+				src = state[g.p]
+			}
+			state[g.q] = src + a
+		}
+	}
+	return state[:n], nil
+}
+
+func runHelper(p *mpc.Party, m, n int, myShares []uint64, bijection bool) ([]uint64, error) {
+	if len(myShares) != m {
+		return nil, fmt.Errorf("oep: helper has %d shares, want %d", len(myShares), m)
+	}
+	pl, _, err := buildPlan(m, n, bijection)
+	if err != nil {
+		return nil, err
+	}
+
+	// Simulate the network over this party's shares, re-randomizing every
+	// gate output and emitting the two masked options per gate. All OT
+	// messages are computable up front because each gate's fresh shares
+	// are drawn before moving on.
+	state := make([]uint64, pl.width)
+	copy(state, myShares)
+	pairs := make([][2][]byte, len(pl.gates))
+	for gi, g := range pl.gates {
+		switch g.kind {
+		case gateSwap:
+			r1 := p.PRG.Uint64()
+			r2 := p.PRG.Uint64()
+			m0 := make([]byte, msgLen)
+			m1 := make([]byte, msgLen)
+			binary.LittleEndian.PutUint64(m0[:8], state[g.p]-r1)
+			binary.LittleEndian.PutUint64(m0[8:], state[g.q]-r2)
+			binary.LittleEndian.PutUint64(m1[:8], state[g.q]-r1)
+			binary.LittleEndian.PutUint64(m1[8:], state[g.p]-r2)
+			pairs[gi] = [2][]byte{m0, m1}
+			state[g.p] = r1
+			state[g.q] = r2
+		case gateDup:
+			r := p.PRG.Uint64()
+			m0 := make([]byte, msgLen)
+			m1 := make([]byte, msgLen)
+			binary.LittleEndian.PutUint64(m0[:8], state[g.q]-r)
+			binary.LittleEndian.PutUint64(m1[:8], state[g.p]-r)
+			pairs[gi] = [2][]byte{m0, m1}
+			state[g.q] = r
+		}
+	}
+
+	snd, err := p.OTSender()
+	if err != nil {
+		return nil, err
+	}
+	if err := snd.Send(pairs); err != nil {
+		return nil, err
+	}
+	return state[:n], nil
+}

@@ -1,0 +1,201 @@
+package ot
+
+import (
+	"fmt"
+
+	"secyan/internal/bitutil"
+	"secyan/internal/prf"
+	"secyan/internal/transport"
+)
+
+// kappa is the number of base OTs / the width of the IKNP matrix.
+const kappa = 128
+
+// Sender is the message-sending endpoint of an IKNP OT-extension session.
+// After a one-time Setup (κ base OTs in the reverse direction), every call
+// to Send transfers an arbitrary batch of message pairs using only
+// symmetric cryptography, in a single round trip.
+type Sender struct {
+	conn    transport.Conn
+	s       *bitutil.Vector // the κ secret selection bits
+	sRow    [kappa / 8]byte // s packed, XORed into q-rows for pad 1
+	streams []*prf.PRG      // PRG(k_i^{s_i}), one per column
+	idx     uint64          // global OT counter, for hash tweak freshness
+}
+
+// Receiver is the choosing endpoint of an IKNP OT-extension session.
+type Receiver struct {
+	conn     transport.Conn
+	streams0 []*prf.PRG
+	streams1 []*prf.PRG
+	idx      uint64
+}
+
+// NewSender runs the base-OT setup (acting as base-OT *receiver* with κ
+// random choice bits) and returns a ready extension sender.
+func NewSender(conn transport.Conn) (*Sender, error) {
+	g := prf.NewPRG(prf.RandomSeed())
+	choices := make([]bool, kappa)
+	s := bitutil.NewVector(kappa)
+	for i := range choices {
+		choices[i] = g.Bool()
+		s.Set(i, choices[i])
+	}
+	seeds, err := BaseRecv(conn, choices)
+	if err != nil {
+		return nil, fmt.Errorf("ot: sender setup: %w", err)
+	}
+	snd := &Sender{conn: conn, s: s}
+	copy(snd.sRow[:], s.Bytes())
+	snd.streams = make([]*prf.PRG, kappa)
+	for i, sd := range seeds {
+		snd.streams[i] = prf.NewPRG(sd)
+	}
+	return snd, nil
+}
+
+// NewReceiver runs the base-OT setup (acting as base-OT *sender* with κ
+// random seed pairs) and returns a ready extension receiver.
+func NewReceiver(conn transport.Conn) (*Receiver, error) {
+	pairs := make([][2]prf.Seed, kappa)
+	r := &Receiver{conn: conn}
+	r.streams0 = make([]*prf.PRG, kappa)
+	r.streams1 = make([]*prf.PRG, kappa)
+	for i := range pairs {
+		pairs[i][0] = prf.RandomSeed()
+		pairs[i][1] = prf.RandomSeed()
+		r.streams0[i] = prf.NewPRG(pairs[i][0])
+		r.streams1[i] = prf.NewPRG(pairs[i][1])
+	}
+	if err := BaseSend(r.conn, pairs); err != nil {
+		return nil, fmt.Errorf("ot: receiver setup: %w", err)
+	}
+	return r, nil
+}
+
+// pad expands the OT instance key (a κ-bit row) to msgLen pad bytes.
+func pad(domain uint64, row []byte, msgLen int) []byte {
+	if msgLen <= 32 {
+		h := prf.Hash(domain, row)
+		return h[:msgLen]
+	}
+	return prf.HashToWidth(domain, msgLen, row)
+}
+
+// Receive performs len(choices) OTs, returning the chosen message of each
+// pair sent by the peer's matching Send call. All messages have msgLen
+// bytes.
+func (r *Receiver) Receive(choices []bool, msgLen int) ([][]byte, error) {
+	m := len(choices)
+	if m == 0 {
+		return nil, nil
+	}
+	mPad := (m + 63) &^ 63
+	rowBytes := mPad / 8
+
+	// Choice bits as a padded bit vector (padding bits random: they
+	// correspond to discarded OT instances).
+	g := prf.NewPRG(prf.RandomSeed())
+	rv := bitutil.NewVector(mPad)
+	for i, c := range choices {
+		rv.Set(i, c)
+	}
+	for i := m; i < mPad; i++ {
+		rv.Set(i, g.Bool())
+	}
+	rBytes := rv.Bytes()
+
+	// T matrix: column i (stored as row i of a κ×mPad matrix) is the
+	// PRG stream of seed k_i^0; u_i = t_i ⊕ PRG(k_i^1) ⊕ r.
+	tm := bitutil.NewMatrix(kappa, mPad)
+	uMsg := make([]byte, 0, kappa*rowBytes)
+	tmp := make([]byte, rowBytes)
+	for i := 0; i < kappa; i++ {
+		t := r.streams0[i].Bytes(rowBytes)
+		tm.SetRowBytes(i, t)
+		p1 := r.streams1[i].Bytes(rowBytes)
+		prf.XORBytes(tmp, t, p1)
+		prf.XORBytes(tmp, tmp, rBytes)
+		uMsg = append(uMsg, tmp...)
+	}
+	if err := r.conn.Send(uMsg); err != nil {
+		return nil, err
+	}
+
+	// Rows of Tᵀ are the per-instance keys.
+	tt := tm.Transpose()
+
+	ct, err := r.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(ct) != 2*m*msgLen {
+		return nil, fmt.Errorf("ot: extension ciphertexts: got %d bytes, want %d", len(ct), 2*m*msgLen)
+	}
+	out := make([][]byte, m)
+	for j := 0; j < m; j++ {
+		p := pad(r.idx+uint64(j), tt.RowBytes(j), msgLen)
+		c := ct[2*j*msgLen : (2*j+1)*msgLen]
+		if choices[j] {
+			c = ct[(2*j+1)*msgLen : (2*j+2)*msgLen]
+		}
+		msg := make([]byte, msgLen)
+		prf.XORBytes(msg, c, p)
+		out[j] = msg
+	}
+	r.idx += uint64(mPad)
+	return out, nil
+}
+
+// Send performs len(pairs) OTs as sender; pairs[j][c] is delivered iff the
+// receiver chose c. All messages must have equal length.
+func (s *Sender) Send(pairs [][2][]byte) error {
+	m := len(pairs)
+	if m == 0 {
+		return nil
+	}
+	msgLen := len(pairs[0][0])
+	for _, p := range pairs {
+		if len(p[0]) != msgLen || len(p[1]) != msgLen {
+			return fmt.Errorf("ot: all messages must have length %d", msgLen)
+		}
+	}
+	mPad := (m + 63) &^ 63
+	rowBytes := mPad / 8
+
+	uMsg, err := s.conn.Recv()
+	if err != nil {
+		return err
+	}
+	if len(uMsg) != kappa*rowBytes {
+		return fmt.Errorf("ot: extension matrix: got %d bytes, want %d", len(uMsg), kappa*rowBytes)
+	}
+	qm := bitutil.NewMatrix(kappa, mPad)
+	tmp := make([]byte, rowBytes)
+	for i := 0; i < kappa; i++ {
+		q := s.streams[i].Bytes(rowBytes)
+		if s.s.Get(i) {
+			prf.XORBytes(tmp, q, uMsg[i*rowBytes:(i+1)*rowBytes])
+			qm.SetRowBytes(i, tmp)
+		} else {
+			qm.SetRowBytes(i, q)
+		}
+	}
+	qt := qm.Transpose()
+
+	ct := make([]byte, 0, 2*m*msgLen)
+	qxs := make([]byte, kappa/8)
+	c := make([]byte, msgLen)
+	for j := 0; j < m; j++ {
+		row := qt.RowBytes(j)
+		p0 := pad(s.idx+uint64(j), row, msgLen)
+		prf.XORBytes(qxs, row, s.sRow[:])
+		p1 := pad(s.idx+uint64(j), qxs, msgLen)
+		prf.XORBytes(c, pairs[j][0], p0)
+		ct = append(ct, c...)
+		prf.XORBytes(c, pairs[j][1], p1)
+		ct = append(ct, c...)
+	}
+	s.idx += uint64(mPad)
+	return s.conn.Send(ct)
+}

@@ -1,0 +1,71 @@
+package prf
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+)
+
+// Block is a 128-bit value: a garbled-circuit wire label or AES block.
+type Block [16]byte
+
+// fixedAES is the public fixed-key permutation π used by the circular
+// correlation-robust hash below. Any fixed key works; hardware AES makes
+// this the fastest hash available for garbling.
+var fixedAES cipher.Block
+
+func init() {
+	key := []byte("secure-yannakaki") // 16 bytes, public constant
+	var err error
+	fixedAES, err = aes.NewCipher(key)
+	if err != nil {
+		panic("prf: fixed-key AES init: " + err.Error())
+	}
+}
+
+// Double multiplies a 128-bit block by 2 in GF(2^128) (the "doubling"
+// operation of the MMO construction).
+func Double(x Block) Block {
+	hi := binary.BigEndian.Uint64(x[0:8])
+	lo := binary.BigEndian.Uint64(x[8:16])
+	carry := hi >> 63
+	hi = hi<<1 | lo>>63
+	lo <<= 1
+	if carry != 0 {
+		lo ^= 0x87 // reduction polynomial x^128 + x^7 + x^2 + x + 1
+	}
+	var out Block
+	binary.BigEndian.PutUint64(out[0:8], hi)
+	binary.BigEndian.PutUint64(out[8:16], lo)
+	return out
+}
+
+// HashBlock is the MMO-style hash H(X, t) = π(2X ⊕ t) ⊕ 2X ⊕ t with the
+// tweak t encoded into the low 8 bytes. It is modeled as a circular
+// correlation-robust hash, the assumption required by free-XOR and
+// half-gates garbling.
+func HashBlock(x Block, tweak uint64) Block {
+	d := Double(x)
+	binary.LittleEndian.PutUint64(d[8:], binary.LittleEndian.Uint64(d[8:])^tweak)
+	var out Block
+	fixedAES.Encrypt(out[:], d[:])
+	XORBlock(&out, out, d)
+	return out
+}
+
+// XORBlock sets *dst = a ^ b.
+func XORBlock(dst *Block, a, b Block) {
+	for i := range dst {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// XORBlockValue returns a ^ b.
+func XORBlockValue(a, b Block) Block {
+	var out Block
+	XORBlock(&out, a, b)
+	return out
+}
+
+// LSB returns the least significant (point-and-permute) bit of a label.
+func (b Block) LSB() uint8 { return b[15] & 1 }

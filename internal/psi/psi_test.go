@@ -1,0 +1,211 @@
+package psi
+
+import (
+	"math/rand"
+	"testing"
+
+	"secyan/internal/mpc"
+	"secyan/internal/share"
+)
+
+// makeSets builds X and Y with a planted intersection.
+func makeSets(rng *rand.Rand, m, n, common int) (xs, ys []uint64) {
+	used := map[uint64]bool{}
+	fresh := func() uint64 {
+		for {
+			v := rng.Uint64() & MaxElement
+			if !used[v] {
+				used[v] = true
+				return v
+			}
+		}
+	}
+	for i := 0; i < common; i++ {
+		v := fresh()
+		xs = append(xs, v)
+		ys = append(ys, v)
+	}
+	for len(xs) < m {
+		xs = append(xs, fresh())
+	}
+	for len(ys) < n {
+		ys = append(ys, fresh())
+	}
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	rng.Shuffle(len(ys), func(i, j int) { ys[i], ys[j] = ys[j], ys[i] })
+	return xs, ys
+}
+
+func checkPSIResult(t *testing.T, ring share.Ring, xs, ys, payloads []uint64, ra, rb *Result) {
+	t.Helper()
+	want := map[uint64]uint64{} // element -> expected payload sum
+	inY := map[uint64]bool{}
+	for j, y := range ys {
+		inY[y] = true
+		want[y] += payloads[j]
+	}
+	table := ra.Table
+	matched := 0
+	for b := 0; b < ra.Params.B; b++ {
+		ind := ring.Combine(ra.IndShares[b], rb.IndShares[b])
+		pay := ring.Combine(ra.PayShares[b], rb.PayShares[b])
+		if v, ok := table.BinItem(b); ok {
+			if inY[v] {
+				matched++
+				if ind != 1 {
+					t.Errorf("bin %d (item %d ∈ Y): ind = %d", b, v, ind)
+				}
+				if pay != ring.Mask(want[v]) {
+					t.Errorf("bin %d (item %d): pay = %d, want %d", b, v, pay, want[v])
+				}
+			} else {
+				if ind != 0 || pay != 0 {
+					t.Errorf("bin %d (item %d ∉ Y): ind=%d pay=%d", b, v, ind, pay)
+				}
+			}
+		} else if ind != 0 || pay != 0 {
+			t.Errorf("empty bin %d: ind=%d pay=%d", b, ind, pay)
+		}
+	}
+	wantMatched := 0
+	for _, x := range xs {
+		if inY[x] {
+			wantMatched++
+		}
+	}
+	if matched != wantMatched {
+		t.Errorf("matched %d bins, want %d", matched, wantMatched)
+	}
+}
+
+func TestPSIPlainPayloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ring := share.Ring{Bits: 32}
+	for _, tc := range []struct{ m, n, common int }{
+		{1, 1, 1}, {1, 1, 0}, {10, 10, 5}, {30, 20, 7}, {5, 40, 3}, {40, 5, 2},
+	} {
+		xs, ys := makeSets(rng, tc.m, tc.n, tc.common)
+		payloads := make([]uint64, len(ys))
+		for i := range payloads {
+			payloads[i] = uint64(rng.Intn(1 << 20))
+		}
+		alice, bob := mpc.Pair(ring)
+		ra, rb, err := mpc.Run2PC(alice, bob,
+			func(p *mpc.Party) (*Result, error) { return RunReceiver(p, xs, len(ys)) },
+			func(p *mpc.Party) (*Result, error) { return RunSender(p, ys, payloads, len(xs)) },
+		)
+		alice.Conn.Close()
+		bob.Conn.Close()
+		if err != nil {
+			t.Fatalf("case %+v: %v", tc, err)
+		}
+		checkPSIResult(t, ring, xs, ys, payloads, ra, rb)
+	}
+}
+
+func TestPSIDuplicateSenderElementsSumPayloads(t *testing.T) {
+	ring := share.Ring{Bits: 32}
+	xs := []uint64{100, 200}
+	ys := []uint64{100, 100, 300}
+	payloads := []uint64{5, 7, 9}
+	alice, bob := mpc.Pair(ring)
+	defer alice.Conn.Close()
+	defer bob.Conn.Close()
+	ra, rb, err := mpc.Run2PC(alice, bob,
+		func(p *mpc.Party) (*Result, error) { return RunReceiver(p, xs, len(ys)) },
+		func(p *mpc.Party) (*Result, error) { return RunSender(p, ys, payloads, len(xs)) },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < ra.Params.B; b++ {
+		if v, ok := ra.Table.BinItem(b); ok && v == 100 {
+			pay := ring.Combine(ra.PayShares[b], rb.PayShares[b])
+			if pay != 12 {
+				t.Fatalf("duplicate payloads: got %d, want 12", pay)
+			}
+		}
+	}
+}
+
+func TestPSISharedPayloads(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	ring := share.Ring{Bits: 32}
+	for _, tc := range []struct{ m, n, common int }{
+		{1, 1, 1}, {8, 8, 4}, {20, 30, 11}, {30, 6, 6},
+	} {
+		xs, ys := makeSets(rng, tc.m, tc.n, tc.common)
+		payloads := make([]uint64, len(ys))
+		payA := make([]uint64, len(ys))
+		payB := make([]uint64, len(ys))
+		g := rand.New(rand.NewSource(77))
+		for i := range payloads {
+			payloads[i] = uint64(rng.Intn(1 << 20))
+			payA[i] = ring.Mask(g.Uint64())
+			payB[i] = ring.Sub(payloads[i], payA[i])
+		}
+		alice, bob := mpc.Pair(ring)
+		ra, rb, err := mpc.Run2PC(alice, bob,
+			func(p *mpc.Party) (*Result, error) {
+				return RunSharedPayloadReceiver(p, xs, len(ys), payA)
+			},
+			func(p *mpc.Party) (*Result, error) {
+				return RunSharedPayloadSender(p, ys, payB, len(xs))
+			},
+		)
+		alice.Conn.Close()
+		bob.Conn.Close()
+		if err != nil {
+			t.Fatalf("case %+v: %v", tc, err)
+		}
+		checkPSIResult(t, ring, xs, ys, payloads, ra, rb)
+	}
+}
+
+func TestComposeRejectsHugeElements(t *testing.T) {
+	if _, err := Compose(MaxElement, 2); err != nil {
+		t.Fatal("MaxElement must be accepted")
+	}
+	if _, err := Compose(MaxElement+1, 0); err == nil {
+		t.Fatal("expected domain error")
+	}
+}
+
+func TestParamsPublicAndMonotone(t *testing.T) {
+	p1 := NewParams(100, 50)
+	p2 := NewParams(100, 50)
+	if p1 != p2 {
+		t.Fatal("params must be deterministic")
+	}
+	if p1.B != 127 {
+		t.Fatalf("B = %d, want 127", p1.B)
+	}
+	if NewParams(100, 500).L < p1.L {
+		t.Fatal("L must grow with the sender set")
+	}
+}
+
+func TestPSIValidation(t *testing.T) {
+	ring := share.Ring{Bits: 32}
+	alice, bob := mpc.Pair(ring)
+	defer alice.Conn.Close()
+	defer bob.Conn.Close()
+	if _, err := RunSender(bob, []uint64{1, 2}, []uint64{1}, 5); err == nil {
+		t.Error("payload length mismatch accepted")
+	}
+	if _, err := RunSharedPayloadSender(bob, []uint64{1}, nil, 5); err == nil {
+		t.Error("share length mismatch accepted")
+	}
+	if _, err := RunSharedPayloadReceiver(alice, []uint64{1}, 3, nil); err == nil {
+		t.Error("receiver share length mismatch accepted")
+	}
+}
+
+func TestIdxWidth(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := idxWidth(n); got != want {
+			t.Errorf("idxWidth(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

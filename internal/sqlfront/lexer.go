@@ -1,0 +1,122 @@
+// Package sqlfront compiles a small SQL subset — exactly the
+// free-connex join-aggregate class the paper's protocol evaluates — into
+// secure query plans:
+//
+//	SELECT class, SUM(cost * (100 - coinsurance))
+//	FROM r1, r2, r3
+//	WHERE r1.person = r2.person AND r2.disease = r3.disease
+//	  AND r1.state = 5
+//	GROUP BY class
+//
+// Supported shapes: one aggregate (SUM of a product of columns and
+// integer constants, COUNT(*), or AVG compiled as a SUM/COUNT
+// composition per §7), natural equi-joins given as qualified equality
+// predicates, private selections (=, !=, <, <=, >, >=, IN) that compile
+// to zero-annotated dummy padding, and GROUP BY over output attributes.
+// Dates are written as 'YYYY-MM-DD' literals and compiled to day codes.
+package sqlfront
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString // quoted literal
+	tokSymbol // punctuation and operators
+)
+
+// token is one lexeme with its position for error messages.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer splits SQL text into tokens. Keywords are returned as tokIdent;
+// the parser matches them case-insensitively.
+type lexer struct {
+	src    string
+	pos    int
+	tokens []token
+}
+
+// symbols recognized, longest first.
+var symbols = []string{"<=", ">=", "!=", "<>", "(", ")", ",", "=", "<", ">", "*", "-", "+", ".", "/"}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case unicode.IsDigit(rune(c)):
+			l.lexNumber()
+		case unicode.IsLetter(rune(c)) || c == '_':
+			l.lexIdent()
+		default:
+			if !l.lexSymbol() {
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+			}
+		}
+	}
+	l.tokens = append(l.tokens, token{kind: tokEOF, pos: l.pos})
+	return l.tokens, nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	for l.pos < len(l.src) && l.src[l.pos] != '\'' {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return fmt.Errorf("sql: unterminated string literal at offset %d", start)
+	}
+	l.tokens = append(l.tokens, token{tokString, l.src[start+1 : l.pos], start})
+	l.pos++ // closing quote
+	return nil
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{tokNumber, l.src[start:l.pos], start})
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.src[l.pos])
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.pos++
+	}
+	l.tokens = append(l.tokens, token{tokIdent, l.src[start:l.pos], start})
+}
+
+func (l *lexer) lexSymbol() bool {
+	for _, s := range symbols {
+		if strings.HasPrefix(l.src[l.pos:], s) {
+			l.tokens = append(l.tokens, token{tokSymbol, s, l.pos})
+			l.pos += len(s)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,410 @@
+package sqlfront
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ColumnRef is a qualified column name.
+type ColumnRef struct {
+	Table  string
+	Column string
+}
+
+func (c ColumnRef) String() string { return c.Table + "." + c.Column }
+
+// AggKind is the aggregate function of the single aggregate term.
+type AggKind int
+
+// Supported aggregates.
+const (
+	AggSum AggKind = iota
+	AggCount
+	AggAvg
+)
+
+// Factor is one multiplicand of the SUM/AVG expression: either a column
+// reference, an integer constant, or (Const - column).
+type Factor struct {
+	Col      *ColumnRef
+	Const    uint64
+	MinusCol bool // (Const - Col)
+}
+
+// CompareOp is a selection operator.
+type CompareOp string
+
+// Selection operators.
+const (
+	OpEq CompareOp = "="
+	OpNe CompareOp = "!="
+	OpLt CompareOp = "<"
+	OpLe CompareOp = "<="
+	OpGt CompareOp = ">"
+	OpGe CompareOp = ">="
+	OpIn CompareOp = "in"
+)
+
+// Selection is a per-relation predicate against constants; it compiles
+// to private dummy padding (§7 option 2).
+type Selection struct {
+	Col    ColumnRef
+	Op     CompareOp
+	Consts []uint64
+}
+
+// JoinPred equates two qualified columns (an equi-join edge).
+type JoinPred struct {
+	Left, Right ColumnRef
+}
+
+// Statement is the parsed SELECT.
+type Statement struct {
+	GroupCols  []ColumnRef // the plain select-list columns (must match GROUP BY)
+	Agg        AggKind
+	AggFactors []Factor // empty for COUNT(*)
+	Tables     []string
+	Joins      []JoinPred
+	Selections []Selection
+}
+
+// parser consumes the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses the SQL subset into a Statement.
+func Parse(src string) (*Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input %q", p.peek().text)
+	}
+	return st, nil
+}
+
+func (p *parser) peek() token   { return p.toks[p.pos] }
+func (p *parser) next() token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool   { return p.peek().kind == tokEOF }
+func (p *parser) save() int     { return p.pos }
+func (p *parser) restore(m int) { p.pos = m }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// keyword consumes an identifier matching kw (case-insensitive).
+func (p *parser) keyword(kw string) bool {
+	if p.peek().kind == tokIdent && strings.EqualFold(p.peek().text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %s, got %q", strings.ToUpper(kw), p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) symbol(s string) bool {
+	if p.peek().kind == tokSymbol && p.peek().text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.symbol(s) {
+		return p.errf("expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.peek().kind != tokIdent {
+		return "", p.errf("expected identifier, got %q", p.peek().text)
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) parseSelect() (*Statement, error) {
+	st := &Statement{Agg: -1}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.parseSelectItem(st); err != nil {
+			return nil, err
+		}
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if st.Agg == -1 {
+		return nil, p.errf("the select list needs exactly one aggregate (SUM, COUNT or AVG)")
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Tables = append(st.Tables, strings.ToLower(t))
+		if !p.symbol(",") {
+			break
+		}
+	}
+	if p.keyword("where") {
+		for {
+			if err := p.parseCondition(st); err != nil {
+				return nil, err
+			}
+			if !p.keyword("and") {
+				break
+			}
+		}
+	}
+	if p.keyword("group") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		var groupBy []ColumnRef
+		for {
+			c, err := p.columnRef()
+			if err != nil {
+				return nil, err
+			}
+			groupBy = append(groupBy, c)
+			if !p.symbol(",") {
+				break
+			}
+		}
+		if err := sameColumns(st.GroupCols, groupBy); err != nil {
+			return nil, err
+		}
+	} else if len(st.GroupCols) > 0 {
+		return nil, p.errf("non-aggregate select columns require a matching GROUP BY")
+	}
+	return st, nil
+}
+
+func sameColumns(selectCols, groupCols []ColumnRef) error {
+	if len(selectCols) != len(groupCols) {
+		return fmt.Errorf("sql: GROUP BY must list exactly the non-aggregate select columns")
+	}
+	in := map[ColumnRef]bool{}
+	for _, c := range groupCols {
+		in[c] = true
+	}
+	for _, c := range selectCols {
+		if !in[c] {
+			return fmt.Errorf("sql: select column %s missing from GROUP BY", c)
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseSelectItem(st *Statement) error {
+	for _, agg := range []struct {
+		kw   string
+		kind AggKind
+	}{{"sum", AggSum}, {"count", AggCount}, {"avg", AggAvg}} {
+		mark := p.save()
+		if p.keyword(agg.kw) && p.symbol("(") {
+			if st.Agg != -1 {
+				return p.errf("only one aggregate is supported")
+			}
+			st.Agg = agg.kind
+			if agg.kind == AggCount && p.symbol("*") {
+				return p.expectSymbol(")")
+			}
+			factors, err := p.parseProduct()
+			if err != nil {
+				return err
+			}
+			st.AggFactors = factors
+			return p.expectSymbol(")")
+		}
+		p.restore(mark)
+	}
+	c, err := p.columnRef()
+	if err != nil {
+		return err
+	}
+	st.GroupCols = append(st.GroupCols, c)
+	return nil
+}
+
+// parseProduct parses factor (* factor)*.
+func (p *parser) parseProduct() ([]Factor, error) {
+	var out []Factor
+	for {
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+		if !p.symbol("*") {
+			return out, nil
+		}
+	}
+}
+
+// parseFactor parses a column, an integer, or (Const - column).
+func (p *parser) parseFactor() (Factor, error) {
+	if p.peek().kind == tokNumber {
+		v, err := strconv.ParseUint(p.next().text, 10, 64)
+		if err != nil {
+			return Factor{}, p.errf("bad number: %v", err)
+		}
+		return Factor{Const: v}, nil
+	}
+	if p.symbol("(") {
+		if p.peek().kind != tokNumber {
+			return Factor{}, p.errf("parenthesized factors must be (CONST - column)")
+		}
+		v, err := strconv.ParseUint(p.next().text, 10, 64)
+		if err != nil {
+			return Factor{}, p.errf("bad number: %v", err)
+		}
+		if err := p.expectSymbol("-"); err != nil {
+			return Factor{}, err
+		}
+		c, err := p.columnRef()
+		if err != nil {
+			return Factor{}, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return Factor{}, err
+		}
+		return Factor{Col: &c, Const: v, MinusCol: true}, nil
+	}
+	c, err := p.columnRef()
+	if err != nil {
+		return Factor{}, err
+	}
+	return Factor{Col: &c}, nil
+}
+
+// columnRef parses table.column (the qualification is mandatory: it is
+// what distinguishes join predicates from selections unambiguously).
+func (p *parser) columnRef() (ColumnRef, error) {
+	t, err := p.ident()
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	if err := p.expectSymbol("."); err != nil {
+		return ColumnRef{}, fmt.Errorf("%w (columns must be written table.column)", err)
+	}
+	c, err := p.ident()
+	if err != nil {
+		return ColumnRef{}, err
+	}
+	return ColumnRef{Table: strings.ToLower(t), Column: strings.ToLower(c)}, nil
+}
+
+// parseCondition parses one WHERE conjunct: a join predicate
+// (col = col) or a selection (col op const / col IN (...)).
+func (p *parser) parseCondition(st *Statement) error {
+	left, err := p.columnRef()
+	if err != nil {
+		return err
+	}
+	if p.keyword("in") {
+		if err := p.expectSymbol("("); err != nil {
+			return err
+		}
+		var consts []uint64
+		for {
+			v, err := p.constant()
+			if err != nil {
+				return err
+			}
+			consts = append(consts, v)
+			if !p.symbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return err
+		}
+		st.Selections = append(st.Selections, Selection{Col: left, Op: OpIn, Consts: consts})
+		return nil
+	}
+	var op CompareOp
+	switch {
+	case p.symbol("="):
+		op = OpEq
+	case p.symbol("!="), p.symbol("<>"):
+		op = OpNe
+	case p.symbol("<="):
+		op = OpLe
+	case p.symbol(">="):
+		op = OpGe
+	case p.symbol("<"):
+		op = OpLt
+	case p.symbol(">"):
+		op = OpGt
+	default:
+		return p.errf("expected comparison operator, got %q", p.peek().text)
+	}
+	// A right-hand column reference makes this a join predicate.
+	if p.peek().kind == tokIdent {
+		right, err := p.columnRef()
+		if err != nil {
+			return err
+		}
+		if op != OpEq {
+			return p.errf("only equality joins are supported")
+		}
+		st.Joins = append(st.Joins, JoinPred{Left: left, Right: right})
+		return nil
+	}
+	v, err := p.constant()
+	if err != nil {
+		return err
+	}
+	st.Selections = append(st.Selections, Selection{Col: left, Op: op, Consts: []uint64{v}})
+	return nil
+}
+
+// constant parses an integer or a 'YYYY-MM-DD' date literal (compiled to
+// days since 1992-01-01, the convention of the TPC-H generator).
+func (p *parser) constant() (uint64, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return strconv.ParseUint(t.text, 10, 64)
+	case tokString:
+		p.next()
+		d, err := time.Parse("2006-01-02", t.text)
+		if err != nil {
+			return 0, p.errf("bad date literal %q: %v", t.text, err)
+		}
+		epoch := time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
+		days := int64(d.Sub(epoch) / (24 * time.Hour))
+		if days < 0 {
+			return 0, p.errf("date %q precedes the 1992-01-01 epoch", t.text)
+		}
+		return uint64(days), nil
+	default:
+		return 0, p.errf("expected constant, got %q", t.text)
+	}
+}

@@ -1,0 +1,202 @@
+// Package tpch is a deterministic, in-process TPC-H-style data generator
+// producing the relations the paper's evaluation queries touch (§8.1:
+// customer, orders, lineitem, supplier, part, partsupp; nation is treated
+// as public knowledge, exactly as the paper does for Q10/Q8/Q9). Scale is
+// denominated in megabytes to match the paper's datasets (1, 3, 10, 33,
+// 100 MB); SF 1 corresponds to 1 GB, so row counts are
+// rows(SF=1) × MB / 1000.
+//
+// Attribute values are uint64 codes: keys are dense integers, dates are
+// days since 1992-01-01, prices are cents, discounts are percents. String
+// columns that the queries only carry through (c_name) or test with
+// simple predicates (p_name like '%green%', p_type, c_mktsegment,
+// l_returnflag) become small integer codes with the generator reproducing
+// the TPC-H selectivities that matter: 1-in-5 market segments, ~1/150
+// part types, P(green ∈ p_name) ≈ 5.4 % (5 words drawn from 92 colors),
+// uniform return flags.
+//
+// Obliviousness makes the secure protocol's cost independent of the
+// actual values (the paper notes the same in §8.2); the generator's job
+// is to give the correctness tests realistic join structure and the
+// benchmarks the right relation sizes.
+package tpch
+
+import (
+	"time"
+
+	"secyan/internal/prf"
+	"secyan/internal/relation"
+)
+
+// Market segments (c_mktsegment codes).
+const (
+	SegmentAutomobile = iota
+	SegmentBuilding
+	SegmentFurniture
+	SegmentHousehold
+	SegmentMachinery
+	NumSegments
+)
+
+// Return flags (l_returnflag codes).
+const (
+	ReturnNone = iota // 'N'
+	ReturnR           // 'R'
+	ReturnA           // 'A'
+	NumReturnFlags
+)
+
+// NumNations matches TPC-H (25 nations, public).
+const NumNations = 25
+
+// NumShipModes matches TPC-H (7 ship modes; l_shipmode codes).
+const NumShipModes = 7
+
+// NumPartTypes matches TPC-H (6 × 5 × 5 type strings).
+const NumPartTypes = 150
+
+// Epoch is the first representable date.
+var Epoch = time.Date(1992, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Day converts a calendar date to the uint64 day code.
+func Day(year, month, day int) uint64 {
+	d := time.Date(year, time.Month(month), day, 0, 0, 0, 0, time.UTC)
+	return uint64(d.Sub(Epoch) / (24 * time.Hour))
+}
+
+// maxDay is the last order date (1998-08-02, as in dbgen).
+var maxDay = Day(1998, 8, 2)
+
+// Config controls generation.
+type Config struct {
+	// ScaleMB is the dataset size in megabytes (the paper uses 1, 3, 10,
+	// 33, 100).
+	ScaleMB float64
+	// Seed makes generation deterministic; both parties of an
+	// out-of-process run generate identical data from the same seed.
+	Seed int64
+}
+
+// DB holds the generated relations. Attribute names are pre-unified so
+// that natural joins connect the right columns: custkey, orderkey,
+// partkey, suppkey are shared; nation keys are kept distinct per relation
+// (c_nationkey vs s_nationkey) because they must never be joined
+// implicitly.
+type DB struct {
+	Config   Config
+	Customer *relation.Relation // custkey, mktsegment, c_name, c_nationkey
+	Orders   *relation.Relation // orderkey, custkey, orderdate, shippriority, totalprice
+	Lineitem *relation.Relation // orderkey, partkey, suppkey, extprice, discount, shipdate, returnflag, quantity, shipmode
+	Supplier *relation.Relation // suppkey, s_nationkey
+	Part     *relation.Relation // partkey, p_type, p_green
+	PartSupp *relation.Relation // partkey, suppkey, supplycost
+}
+
+// Rows per relation at SF = 1 (1 GB), as in the TPC-H specification.
+const (
+	customersPerSF = 150000
+	suppliersPerSF = 10000
+	partsPerSF     = 200000
+	ordersPerCust  = 10
+	suppsPerPart   = 4
+)
+
+// scaleRows computes a row count for the configured scale, with a floor
+// of 1 so every relation is non-empty at tiny scales.
+func (c Config) scaleRows(perSF int) int {
+	n := int(float64(perSF) * c.ScaleMB / 1000)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Generate builds the database.
+func Generate(cfg Config) *DB {
+	var seed prf.Seed
+	for i := 0; i < 8; i++ {
+		seed[i] = byte(cfg.Seed >> (8 * i))
+	}
+	seed[8] = 0x5e
+	g := prf.NewPRG(seed)
+	db := &DB{Config: cfg}
+
+	nCust := cfg.scaleRows(customersPerSF)
+	nSupp := cfg.scaleRows(suppliersPerSF)
+	nPart := cfg.scaleRows(partsPerSF)
+	nOrders := nCust * ordersPerCust
+
+	db.Customer = relation.New(relation.MustSchema("custkey", "mktsegment", "c_name", "c_nationkey"))
+	for i := 0; i < nCust; i++ {
+		db.Customer.Append([]uint64{
+			uint64(i + 1),
+			g.Uint64n(NumSegments),
+			uint64(i + 1), // c_name is "Customer#%09d": derivable from the key
+			g.Uint64n(NumNations),
+		}, 1)
+	}
+
+	db.Supplier = relation.New(relation.MustSchema("suppkey", "s_nationkey"))
+	for i := 0; i < nSupp; i++ {
+		db.Supplier.Append([]uint64{uint64(i + 1), g.Uint64n(NumNations)}, 1)
+	}
+
+	db.Part = relation.New(relation.MustSchema("partkey", "p_type", "p_green"))
+	for i := 0; i < nPart; i++ {
+		// p_name is 5 distinct words of 92 colors; P(contains "green")
+		// = 1 - C(91,5)/C(92,5) = 5/92 ≈ 5.4 %.
+		green := uint64(0)
+		if g.Uint64n(92) < 5 {
+			green = 1
+		}
+		db.Part.Append([]uint64{uint64(i + 1), g.Uint64n(NumPartTypes), green}, 1)
+	}
+
+	db.PartSupp = relation.New(relation.MustSchema("partkey", "suppkey", "supplycost"))
+	suppsEach := suppsPerPart
+	if suppsEach > nSupp {
+		suppsEach = nSupp
+	}
+	for i := 0; i < nPart; i++ {
+		for s := 0; s < suppsEach; s++ {
+			// (i+s) mod nSupp yields distinct suppliers per part, like
+			// dbgen's supplier spreading.
+			suppkey := uint64((i+s)%nSupp) + 1
+			db.PartSupp.Append([]uint64{uint64(i + 1), suppkey, 100 + g.Uint64n(99900)}, 1)
+		}
+	}
+
+	db.Orders = relation.New(relation.MustSchema("orderkey", "custkey", "orderdate", "shippriority", "totalprice"))
+	db.Lineitem = relation.New(relation.MustSchema("orderkey", "partkey", "suppkey", "extprice", "discount", "shipdate", "returnflag", "quantity", "shipmode"))
+	for o := 0; o < nOrders; o++ {
+		orderkey := uint64(o + 1)
+		custkey := g.Uint64n(uint64(nCust)) + 1
+		orderdate := g.Uint64n(maxDay - 121)
+		var total uint64
+		nItems := 1 + int(g.Uint64n(7))
+		for li := 0; li < nItems; li++ {
+			qty := 1 + g.Uint64n(50)
+			price := (90000 + g.Uint64n(110001)) * qty / 50 // cents
+			total += price
+			db.Lineitem.Append([]uint64{
+				orderkey,
+				g.Uint64n(uint64(nPart)) + 1,
+				g.Uint64n(uint64(nSupp)) + 1,
+				price,
+				g.Uint64n(11), // discount percent 0..10
+				orderdate + 1 + g.Uint64n(121),
+				g.Uint64n(NumReturnFlags),
+				qty,
+				g.Uint64n(NumShipModes),
+			}, 1)
+		}
+		db.Orders.Append([]uint64{orderkey, custkey, orderdate, 0, total}, 1)
+	}
+	return db
+}
+
+// TotalRows returns the summed tuple count of all relations.
+func (db *DB) TotalRows() int {
+	return db.Customer.Len() + db.Orders.Len() + db.Lineitem.Len() +
+		db.Supplier.Len() + db.Part.Len() + db.PartSupp.Len()
+}

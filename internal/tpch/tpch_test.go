@@ -1,0 +1,140 @@
+package tpch
+
+import (
+	"testing"
+
+	"secyan/internal/relation"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{ScaleMB: 0.1, Seed: 7})
+	b := Generate(Config{ScaleMB: 0.1, Seed: 7})
+	if a.TotalRows() != b.TotalRows() {
+		t.Fatal("row counts differ")
+	}
+	for i := range a.Lineitem.Tuples {
+		for c := range a.Lineitem.Tuples[i] {
+			if a.Lineitem.Tuples[i][c] != b.Lineitem.Tuples[i][c] {
+				t.Fatal("same seed must generate identical data")
+			}
+		}
+	}
+	c := Generate(Config{ScaleMB: 0.1, Seed: 8})
+	same := true
+	for i := range a.Lineitem.Tuples {
+		if a.Lineitem.Tuples[i][3] != c.Lineitem.Tuples[i][3] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds generated identical prices")
+	}
+}
+
+func TestScalingProportions(t *testing.T) {
+	db := Generate(Config{ScaleMB: 1, Seed: 1})
+	if db.Customer.Len() != 150 {
+		t.Fatalf("customers at 1MB: %d, want 150", db.Customer.Len())
+	}
+	if db.Orders.Len() != 1500 {
+		t.Fatalf("orders at 1MB: %d, want 1500", db.Orders.Len())
+	}
+	// Lineitems average 4 per order.
+	if db.Lineitem.Len() < 3*db.Orders.Len() || db.Lineitem.Len() > 5*db.Orders.Len() {
+		t.Fatalf("lineitem/order ratio off: %d / %d", db.Lineitem.Len(), db.Orders.Len())
+	}
+	if db.Supplier.Len() != 10 || db.Part.Len() != 200 {
+		t.Fatalf("supplier %d part %d", db.Supplier.Len(), db.Part.Len())
+	}
+	if db.PartSupp.Len() != 4*db.Part.Len() {
+		t.Fatalf("partsupp %d, want %d", db.PartSupp.Len(), 4*db.Part.Len())
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	db := Generate(Config{ScaleMB: 0.1, Seed: 3})
+	custs := map[uint64]bool{}
+	for i := range db.Customer.Tuples {
+		custs[db.Customer.Tuples[i][0]] = true
+	}
+	ckIdx := db.Orders.Schema.Index("custkey")
+	for i := range db.Orders.Tuples {
+		if !custs[db.Orders.Tuples[i][ckIdx]] {
+			t.Fatal("order references missing customer")
+		}
+	}
+	orders := map[uint64]bool{}
+	for i := range db.Orders.Tuples {
+		orders[db.Orders.Tuples[i][0]] = true
+	}
+	for i := range db.Lineitem.Tuples {
+		if !orders[db.Lineitem.Tuples[i][0]] {
+			t.Fatal("lineitem references missing order")
+		}
+	}
+	pk := db.PartSupp.Schema.Index("partkey")
+	sk := db.PartSupp.Schema.Index("suppkey")
+	seen := map[[2]uint64]bool{}
+	for i := range db.PartSupp.Tuples {
+		key := [2]uint64{db.PartSupp.Tuples[i][pk], db.PartSupp.Tuples[i][sk]}
+		if seen[key] {
+			t.Fatalf("duplicate partsupp pair %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestValueDomains(t *testing.T) {
+	db := Generate(Config{ScaleMB: 0.2, Seed: 5})
+	check := func(r *relation.Relation, name string) {
+		for i := range r.Tuples {
+			for c, v := range r.Tuples[i] {
+				if v > relation.MaxValue {
+					t.Fatalf("%s row %d col %d: value %d exceeds real domain", name, i, c, v)
+				}
+			}
+		}
+	}
+	check(db.Customer, "customer")
+	check(db.Orders, "orders")
+	check(db.Lineitem, "lineitem")
+	check(db.Supplier, "supplier")
+	check(db.Part, "part")
+	check(db.PartSupp, "partsupp")
+}
+
+func TestDayConversions(t *testing.T) {
+	if Day(1992, 1, 1) != 0 {
+		t.Fatal("epoch must be day 0")
+	}
+	if Day(1992, 1, 2) != 1 {
+		t.Fatal("day arithmetic")
+	}
+	if Day(1995, 3, 13) <= Day(1993, 11, 1) {
+		t.Fatal("date ordering")
+	}
+}
+
+func TestSelectivityKnobs(t *testing.T) {
+	db := Generate(Config{ScaleMB: 2, Seed: 9})
+	segIdx := db.Customer.Schema.Index("mktsegment")
+	counts := make([]int, NumSegments)
+	for i := range db.Customer.Tuples {
+		counts[db.Customer.Tuples[i][segIdx]]++
+	}
+	for s, c := range counts {
+		if c == 0 {
+			t.Fatalf("segment %d never generated", s)
+		}
+	}
+	greenIdx := db.Part.Schema.Index("p_green")
+	greens := 0
+	for i := range db.Part.Tuples {
+		greens += int(db.Part.Tuples[i][greenIdx])
+	}
+	frac := float64(greens) / float64(db.Part.Len())
+	if frac < 0.01 || frac > 0.15 {
+		t.Fatalf("green fraction %.3f far from 5.4%%", frac)
+	}
+}

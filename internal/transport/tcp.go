@@ -1,0 +1,148 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// tcpConn frames messages over a net.Conn with a 4-byte little-endian
+// length prefix. It satisfies Conn and keeps the same traffic accounting as
+// the in-memory pipe (payload bytes only; framing overhead is excluded so
+// that the two transports report comparable numbers).
+type tcpConn struct {
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+
+	mu       sync.Mutex
+	stats    Stats
+	lastRecv bool
+	started  bool
+	closed   bool
+}
+
+// Listen accepts a single inbound connection on addr and returns it as a
+// Conn. It is intended for running one party of a protocol as its own
+// process.
+func Listen(addr string) (Conn, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Close()
+	nc, err := l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(nc), nil
+}
+
+// Dial connects to the party listening on addr.
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return newTCPConn(nc), nil
+}
+
+func newTCPConn(nc net.Conn) *tcpConn {
+	return &tcpConn{
+		nc: nc,
+		r:  bufio.NewReaderSize(nc, 1<<16),
+		w:  bufio.NewWriterSize(nc, 1<<16),
+	}
+}
+
+func (t *tcpConn) Send(data []byte) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := t.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := t.w.Write(data); err != nil {
+		return err
+	}
+	if err := t.w.Flush(); err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.stats.BytesSent += int64(len(data))
+	t.stats.MessagesSent++
+	if t.lastRecv || !t.started {
+		t.stats.Rounds++
+	}
+	t.lastRecv = false
+	t.started = true
+	t.mu.Unlock()
+	return nil
+}
+
+func (t *tcpConn) Recv() ([]byte, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	var hdr [4]byte
+	if _, err := readFull(t.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if uint64(n) > MaxMessageSize {
+		return nil, fmt.Errorf("transport: message of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := readFull(t.r, buf); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	t.stats.BytesReceived += int64(n)
+	t.stats.MessagesRecv++
+	t.lastRecv = true
+	t.started = true
+	t.mu.Unlock()
+	return buf, nil
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	n := 0
+	for n < len(buf) {
+		m, err := r.Read(buf[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}
+
+func (t *tcpConn) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+func (t *tcpConn) ResetStats() {
+	t.mu.Lock()
+	t.stats = Stats{}
+	t.lastRecv = false
+	t.started = false
+	t.mu.Unlock()
+}
+
+func (t *tcpConn) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	return t.nc.Close()
+}

@@ -1,0 +1,319 @@
+// Package yannakakis implements the plaintext (non-private) 3-phase
+// Yannakakis algorithm of paper §3.2 for free-connex join-aggregate
+// queries: Reduce (fold non-output attributes bottom-up), Semijoin
+// (remove dangling tuples with two passes), and Full Join (join the
+// remaining output-attribute-only relations). Its worst-case running
+// time is O(IN + OUT), which is what makes it portable to the oblivious
+// setting: the cost never depends on the data, only on the public sizes.
+//
+// This package serves three roles in the repository: the non-private
+// baseline of the experiments (standing in for MySQL, §8.2), the local
+// join-with-provenance step inside the oblivious join protocol (§6.3
+// step 2), and the reference implementation the secure engine is tested
+// against.
+package yannakakis
+
+import (
+	"fmt"
+
+	"secyan/internal/jointree"
+	"secyan/internal/relation"
+)
+
+// validate checks that the relations align with the hypergraph edges.
+func validate(t *jointree.Tree, rels []*relation.Relation) error {
+	if len(rels) != len(t.H.Edges) {
+		return fmt.Errorf("yannakakis: %d relations for %d edges", len(rels), len(t.H.Edges))
+	}
+	for i, e := range t.H.Edges {
+		if len(rels[i].Schema.Attrs) != len(e.Attrs) {
+			return fmt.Errorf("yannakakis: relation %d (%s) schema %v does not match edge attrs %v",
+				i, e.Name, rels[i].Schema.Attrs, e.Attrs)
+		}
+		for _, a := range e.Attrs {
+			if !rels[i].Schema.Has(a) {
+				return fmt.Errorf("yannakakis: relation %d (%s) missing attribute %q", i, e.Name, a)
+			}
+		}
+	}
+	return nil
+}
+
+// Run evaluates the free-connex join-aggregate query
+// π^⊕_output(⋈^⊗ rels) over the join tree t. Input relations are not
+// modified. Zero-annotated (dummy) tuples contribute nothing, matching
+// the secure engine's dummy-tuple convention.
+func Run(t *jointree.Tree, rels []*relation.Relation, output []relation.Attr, sr relation.Semiring) (*relation.Relation, error) {
+	if err := validate(t, rels); err != nil {
+		return nil, err
+	}
+	cur := make([]*relation.Relation, len(rels))
+	for i, r := range rels {
+		cur[i] = r.Clone()
+	}
+	outSet := map[relation.Attr]bool{}
+	for _, a := range output {
+		outSet[a] = true
+	}
+
+	// Phase 1: Reduce. Children-first; a node folds into its parent when
+	// its remaining attributes F' = (O ∪ F_p) ∩ F all occur in the parent.
+	removed := make([]bool, len(cur))
+	childrenLeft := make([]int, len(cur))
+	for i, cs := range t.Children {
+		childrenLeft[i] = len(cs)
+	}
+	for _, i := range t.PostOrder {
+		if i == t.Root || childrenLeft[i] > 0 {
+			continue
+		}
+		p := t.Parent[i]
+		var fPrime []relation.Attr
+		for _, a := range cur[i].Schema.Attrs {
+			if outSet[a] || cur[p].Schema.Has(a) {
+				fPrime = append(fPrime, a)
+			}
+		}
+		subset := true
+		for _, a := range fPrime {
+			if !cur[p].Schema.Has(a) {
+				subset = false
+				break
+			}
+		}
+		proj, err := cur[i].Project(fPrime, sr)
+		if err != nil {
+			return nil, err
+		}
+		if subset {
+			joined, err := cur[p].Join(proj, sr)
+			if err != nil {
+				return nil, err
+			}
+			cur[p] = joined
+			removed[i] = true
+			childrenLeft[p]--
+		} else {
+			// The reduce pass stops here; this node keeps only its output
+			// and join attributes (all outputs, by free-connexity).
+			cur[i] = proj
+		}
+	}
+
+	// Root aggregation: fold away any remaining non-output attributes of
+	// the root (possible only when the root is the single survivor).
+	rootOnlyOutputs := true
+	for _, a := range cur[t.Root].Schema.Attrs {
+		if !outSet[a] {
+			rootOnlyOutputs = false
+			break
+		}
+	}
+	if !rootOnlyOutputs {
+		var keep []relation.Attr
+		for _, a := range cur[t.Root].Schema.Attrs {
+			if outSet[a] {
+				keep = append(keep, a)
+			}
+		}
+		proj, err := cur[t.Root].Project(keep, sr)
+		if err != nil {
+			return nil, err
+		}
+		cur[t.Root] = proj
+	}
+
+	// Phase 2: Semijoin. Bottom-up then top-down over the remaining tree.
+	remaining := remainingOrder(t, removed)
+	for _, i := range remaining { // bottom-up (post-order)
+		if i == t.Root {
+			continue
+		}
+		p := t.Parent[i]
+		sj, err := cur[p].Semijoin(cur[i], sr)
+		if err != nil {
+			return nil, err
+		}
+		cur[p] = sj
+	}
+	for idx := len(remaining) - 1; idx >= 0; idx-- { // top-down
+		i := remaining[idx]
+		if i == t.Root {
+			continue
+		}
+		p := t.Parent[i]
+		sj, err := cur[i].Semijoin(cur[p], sr)
+		if err != nil {
+			return nil, err
+		}
+		cur[i] = sj
+	}
+
+	// Phase 3: Full join, bottom-up into the root.
+	for _, i := range remaining {
+		if i == t.Root {
+			continue
+		}
+		p := t.Parent[i]
+		joined, err := cur[p].Join(cur[i], sr)
+		if err != nil {
+			return nil, err
+		}
+		cur[p] = joined
+	}
+
+	// Normalize column order to the requested output order.
+	return normalizeOutput(cur[t.Root], output, sr)
+}
+
+// remainingOrder filters the post-order traversal to surviving nodes.
+func remainingOrder(t *jointree.Tree, removed []bool) []int {
+	var out []int
+	for _, i := range t.PostOrder {
+		if !removed[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// normalizeOutput projects/reorders the result columns to `output`.
+func normalizeOutput(r *relation.Relation, output []relation.Attr, sr relation.Semiring) (*relation.Relation, error) {
+	if len(output) == 0 {
+		return r.Project(nil, sr)
+	}
+	return r.Project(output, sr)
+}
+
+// NaiveJoinAggregate is the brute-force reference: join every relation
+// pairwise (hash join over shared attributes, Cartesian otherwise) and
+// aggregate by the output attributes. Exponential in the worst case; for
+// tests only.
+func NaiveJoinAggregate(rels []*relation.Relation, output []relation.Attr, sr relation.Semiring) (*relation.Relation, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("yannakakis: no relations")
+	}
+	acc := rels[0].Clone()
+	for _, r := range rels[1:] {
+		j, err := acc.Join(r, sr)
+		if err != nil {
+			return nil, err
+		}
+		acc = j
+	}
+	return normalizeOutput(acc, output, sr)
+}
+
+// Provenance is the output of JoinProvenance: one row per join result
+// over the union of the remaining relations' attributes, plus, for each
+// result row, the index of the contributing tuple in every input
+// relation.
+type Provenance struct {
+	Result  *relation.Relation
+	Sources [][]int // Sources[row][node] = tuple index into rels[node]
+}
+
+// JoinProvenance computes the natural join of the given relations along
+// the tree while tracking, for every output row, which input tuple of
+// each relation produced it. It ignores annotations (the oblivious join
+// protocol computes those separately via OEP + circuits, §6.3 step 3)
+// and skips zero-annotated or dummy tuples. nodes selects the subset of
+// tree nodes to join (the survivors of the reduce phase); pass nil for
+// all.
+func JoinProvenance(t *jointree.Tree, rels []*relation.Relation, nodes []int) (*Provenance, error) {
+	// Unlike Run, the provenance join tolerates *reduced* schemas (the
+	// secure engine's reduce phase projects relations): the tree only
+	// drives the join order; the natural joins use the actual schemas.
+	if len(rels) != len(t.H.Edges) {
+		return nil, fmt.Errorf("yannakakis: %d relations for %d edges", len(rels), len(t.H.Edges))
+	}
+	include := make([]bool, len(rels))
+	if nodes == nil {
+		for i := range include {
+			include[i] = true
+		}
+	} else {
+		for _, n := range nodes {
+			include[n] = true
+		}
+	}
+
+	sr := relation.BoolSemiring{}
+	// Augment each included relation with a provenance column carrying
+	// the tuple index; the column name cannot collide with real attrs.
+	aug := make([]*relation.Relation, len(rels))
+	for i, r := range rels {
+		if !include[i] {
+			continue
+		}
+		provAttr := relation.Attr(fmt.Sprintf("\x00prov%d", i))
+		schema := relation.MustSchema(append(append([]relation.Attr{}, r.Schema.Attrs...), provAttr)...)
+		a := relation.New(schema)
+		for j := range r.Tuples {
+			if r.Annot[j] == 0 || r.IsDummy(j) {
+				continue
+			}
+			row := make([]uint64, 0, len(r.Tuples[j])+1)
+			row = append(row, r.Tuples[j]...)
+			row = append(row, uint64(j))
+			a.Append(row, 1)
+		}
+		aug[i] = a
+	}
+
+	// Join included nodes bottom-up along the tree; a child whose parent
+	// chain is excluded joins into the nearest included ancestor, or the
+	// accumulated root result.
+	var acc *relation.Relation
+	for _, i := range t.PostOrder {
+		if !include[i] {
+			continue
+		}
+		if acc == nil {
+			acc = aug[i]
+			continue
+		}
+		j, err := acc.Join(aug[i], sr)
+		if err != nil {
+			return nil, err
+		}
+		acc = j
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("yannakakis: no nodes selected")
+	}
+
+	// Split provenance columns from result columns.
+	var resAttrs []relation.Attr
+	var provCols = map[int]int{} // node -> column in acc
+	for c, a := range acc.Schema.Attrs {
+		var node int
+		if n, err := fmt.Sscanf(string(a), "\x00prov%d", &node); n == 1 && err == nil {
+			provCols[node] = c
+			continue
+		}
+		resAttrs = append(resAttrs, a)
+	}
+	resCols, err := acc.Schema.Positions(resAttrs)
+	if err != nil {
+		return nil, err
+	}
+	res := relation.New(relation.MustSchema(resAttrs...))
+	sources := make([][]int, 0, acc.Len())
+	for r := range acc.Tuples {
+		row := make([]uint64, len(resCols))
+		for i, c := range resCols {
+			row[i] = acc.Tuples[r][c]
+		}
+		res.Append(row, 1)
+		src := make([]int, len(rels))
+		for i := range src {
+			src[i] = -1
+		}
+		for node, c := range provCols {
+			src[node] = int(acc.Tuples[r][c])
+		}
+		sources = append(sources, src)
+	}
+	return &Provenance{Result: res, Sources: sources}, nil
+}

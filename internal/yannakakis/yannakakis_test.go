@@ -1,0 +1,408 @@
+package yannakakis
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"secyan/internal/jointree"
+	"secyan/internal/relation"
+)
+
+type A = relation.Attr
+
+var ring = relation.RingSemiring{Bits: 32}
+
+// asMap converts a relation to a map from serialized row to annotation,
+// for order-independent comparison, dropping zero-annotated rows.
+func asMap(r *relation.Relation, attrs []A) map[string]uint64 {
+	cols, err := r.Schema.Positions(attrs)
+	if err != nil {
+		panic(err)
+	}
+	out := map[string]uint64{}
+	for i := range r.Tuples {
+		if r.Annot[i] == 0 {
+			continue
+		}
+		key := ""
+		for _, c := range cols {
+			key += string(rune(r.Tuples[i][c])) + "|"
+		}
+		out[key] += r.Annot[i]
+	}
+	return out
+}
+
+func sameResult(t *testing.T, got, want *relation.Relation, attrs []A) {
+	t.Helper()
+	g := asMap(got, attrs)
+	w := asMap(want, attrs)
+	if len(g) != len(w) {
+		t.Fatalf("result sizes differ: got %d, want %d\ngot:\n%v\nwant:\n%v", len(g), len(w), got, want)
+	}
+	for k, v := range w {
+		if g[k] != v%(1<<32) {
+			t.Fatalf("annotation mismatch for %q: got %d, want %d", k, g[k], v)
+		}
+	}
+}
+
+// TestExample11 reproduces the paper's running example (Example 1.1/3.1):
+// insurance × medical records grouped by disease class.
+func TestExample11(t *testing.T) {
+	h := &jointree.Hypergraph{Edges: []jointree.Edge{
+		{Name: "R1", Attrs: []A{"person", "coinsurance"}},
+		{Name: "R2", Attrs: []A{"person", "disease"}},
+		{Name: "R3", Attrs: []A{"disease", "class"}},
+	}}
+	r1 := relation.New(relation.MustSchema("person", "coinsurance"))
+	// annotation = 100*(1-coinsurance): person 1 pays 80%, person 2 pays 50%
+	r1.Append([]uint64{1, 20}, 80)
+	r1.Append([]uint64{2, 50}, 50)
+	r1.Append([]uint64{3, 0}, 100)
+	r2 := relation.New(relation.MustSchema("person", "disease"))
+	// annotation = cost
+	r2.Append([]uint64{1, 10}, 1000) // person 1, disease 10, cost 1000
+	r2.Append([]uint64{1, 11}, 500)
+	r2.Append([]uint64{2, 10}, 2000)
+	r2.Append([]uint64{4, 12}, 999) // person 4 not insured
+	r3 := relation.New(relation.MustSchema("disease", "class"))
+	r3.Append([]uint64{10, 100}, 1)
+	r3.Append([]uint64{11, 101}, 1)
+	// disease 12 unclassified
+
+	output := []A{"class"}
+	tree, err := h.Plan(output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rels := []*relation.Relation{r1, r2, r3}
+	got, err := Run(tree, rels, output, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// class 100: person1*1000*80 + person2*2000*50 = 80000 + 100000
+	// class 101: person1*500*80 = 40000
+	want := relation.New(relation.MustSchema("class"))
+	want.Append([]uint64{100}, 180000)
+	want.Append([]uint64{101}, 40000)
+	sameResult(t, got, want, output)
+
+	naive, err := NaiveJoinAggregate(rels, output, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, got, naive, output)
+}
+
+// randomRelation builds a relation with values drawn from a small domain
+// so joins actually match.
+func randomRelation(rng *rand.Rand, schema relation.Schema, n int, domain uint64) *relation.Relation {
+	r := relation.New(schema)
+	for i := 0; i < n; i++ {
+		row := make([]uint64, len(schema.Attrs))
+		for c := range row {
+			row[c] = rng.Uint64() % domain
+		}
+		r.Append(row, rng.Uint64()%100)
+	}
+	return r
+}
+
+// TestRandomQueriesMatchNaive cross-checks the 3-phase engine against the
+// brute-force evaluator on randomized free-connex queries.
+func TestRandomQueriesMatchNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	queries := []struct {
+		edges  []jointree.Edge
+		output []A
+	}{
+		{ // chain
+			[]jointree.Edge{
+				{Name: "R1", Attrs: []A{"a", "b"}},
+				{Name: "R2", Attrs: []A{"b", "c"}},
+				{Name: "R3", Attrs: []A{"c", "d"}},
+			},
+			[]A{"d"},
+		},
+		{ // star, full aggregate
+			[]jointree.Edge{
+				{Name: "R1", Attrs: []A{"a", "b"}},
+				{Name: "R2", Attrs: []A{"a", "c"}},
+				{Name: "R3", Attrs: []A{"a", "d"}},
+			},
+			nil,
+		},
+		{ // Figure 1 with O = {B,D,E,F}
+			[]jointree.Edge{
+				{Name: "R1", Attrs: []A{"A", "B"}},
+				{Name: "R2", Attrs: []A{"A", "C"}},
+				{Name: "R3", Attrs: []A{"B", "D", "F"}},
+				{Name: "R4", Attrs: []A{"D", "F", "G"}},
+				{Name: "R5", Attrs: []A{"B", "E"}},
+			},
+			[]A{"B", "D", "E", "F"},
+		},
+		{ // single relation group-by
+			[]jointree.Edge{{Name: "R", Attrs: []A{"a", "b", "c"}}},
+			[]A{"b"},
+		},
+		{ // two relations, all attrs output
+			[]jointree.Edge{
+				{Name: "R1", Attrs: []A{"a", "b"}},
+				{Name: "R2", Attrs: []A{"b", "c"}},
+			},
+			[]A{"a", "b", "c"},
+		},
+	}
+	for qi, q := range queries {
+		h := &jointree.Hypergraph{Edges: q.edges}
+		tree, err := h.Plan(q.output)
+		if err != nil {
+			t.Fatalf("query %d: Plan: %v", qi, err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			rels := make([]*relation.Relation, len(q.edges))
+			for i, e := range q.edges {
+				rels[i] = randomRelation(rng, relation.MustSchema(e.Attrs...), 5+rng.Intn(20), 6)
+			}
+			got, err := Run(tree, rels, q.output, ring)
+			if err != nil {
+				t.Fatalf("query %d trial %d: Run: %v", qi, trial, err)
+			}
+			want, err := NaiveJoinAggregate(rels, q.output, ring)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResult(t, got, want, outputOrAll(q.output))
+		}
+	}
+}
+
+func outputOrAll(output []A) []A {
+	if output == nil {
+		return []A{}
+	}
+	return output
+}
+
+func TestZeroAnnotatedTuplesContributeNothing(t *testing.T) {
+	h := &jointree.Hypergraph{Edges: []jointree.Edge{
+		{Name: "R1", Attrs: []A{"a", "b"}},
+		{Name: "R2", Attrs: []A{"b"}},
+	}}
+	r1 := relation.New(relation.MustSchema("a", "b"))
+	r1.Append([]uint64{1, 5}, 3)
+	r1.Append([]uint64{2, 5}, 0) // dummy-like: zero annotation
+	r2 := relation.New(relation.MustSchema("b"))
+	r2.Append([]uint64{5}, 2)
+	tree, err := h.Plan([]A{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(tree, []*relation.Relation{r1, r2}, []A{"a"}, ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := asMap(got, []A{"a"})
+	if len(m) != 1 {
+		t.Fatalf("zero-annotated rows leaked into result: %v", got)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	h := &jointree.Hypergraph{Edges: []jointree.Edge{
+		{Name: "R1", Attrs: []A{"a"}},
+		{Name: "R2", Attrs: []A{"a"}},
+	}}
+	tree, err := h.Plan(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := relation.New(relation.MustSchema("a"))
+	if _, err := Run(tree, []*relation.Relation{r}, nil, ring); err == nil {
+		t.Error("relation count mismatch accepted")
+	}
+	bad := relation.New(relation.MustSchema("x"))
+	if _, err := Run(tree, []*relation.Relation{r, bad}, nil, ring); err == nil {
+		t.Error("schema mismatch accepted")
+	}
+}
+
+func TestJoinProvenance(t *testing.T) {
+	h := &jointree.Hypergraph{Edges: []jointree.Edge{
+		{Name: "R1", Attrs: []A{"a", "b"}},
+		{Name: "R2", Attrs: []A{"b", "c"}},
+	}}
+	tree, err := h.Plan([]A{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := relation.New(relation.MustSchema("a", "b"))
+	r1.Append([]uint64{1, 10}, 1)
+	r1.Append([]uint64{2, 20}, 1)
+	r1.Append([]uint64{3, 30}, 0) // zero-annotated: excluded
+	r2 := relation.New(relation.MustSchema("b", "c"))
+	r2.Append([]uint64{10, 7}, 1)
+	r2.Append([]uint64{10, 8}, 1)
+	r2.Append([]uint64{20, 9}, 1)
+
+	prov, err := JoinProvenance(tree, []*relation.Relation{r1, r2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov.Result.Len() != 3 {
+		t.Fatalf("join size %d, want 3", prov.Result.Len())
+	}
+	// Every provenance entry must point at a tuple that projects onto the
+	// result row.
+	for row := range prov.Result.Tuples {
+		src := prov.Sources[row]
+		if src[0] < 0 || src[1] < 0 {
+			t.Fatalf("row %d: missing provenance %v", row, src)
+		}
+		bCol := prov.Result.Schema.Index("b")
+		if r1.Tuples[src[0]][1] != prov.Result.Tuples[row][bCol] ||
+			r2.Tuples[src[1]][0] != prov.Result.Tuples[row][bCol] {
+			t.Fatalf("row %d: provenance does not project onto result", row)
+		}
+	}
+	// Excluded zero-annotated tuple must never appear.
+	for _, src := range prov.Sources {
+		if src[0] == 2 {
+			t.Fatal("zero-annotated tuple leaked into provenance")
+		}
+	}
+}
+
+func TestJoinProvenanceSubset(t *testing.T) {
+	h := &jointree.Hypergraph{Edges: []jointree.Edge{
+		{Name: "R1", Attrs: []A{"a"}},
+		{Name: "R2", Attrs: []A{"a"}},
+		{Name: "R3", Attrs: []A{"a"}},
+	}}
+	tree, err := h.Plan([]A{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(vals ...uint64) *relation.Relation {
+		r := relation.New(relation.MustSchema("a"))
+		for _, v := range vals {
+			r.Append([]uint64{v}, 1)
+		}
+		return r
+	}
+	rels := []*relation.Relation{mk(1, 2), mk(2, 3), mk(9)}
+	prov, err := JoinProvenance(tree, rels, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prov.Result.Len() != 1 || prov.Result.Tuples[0][0] != 2 {
+		t.Fatalf("subset join wrong: %v", prov.Result)
+	}
+	if prov.Sources[0][2] != -1 {
+		t.Fatal("excluded node must have provenance -1")
+	}
+}
+
+func TestDeterministicOutputOrderIsStable(t *testing.T) {
+	// Project groups by first appearance; make sure Run is deterministic
+	// across repetitions (needed for reproducible benchmarks).
+	h := &jointree.Hypergraph{Edges: []jointree.Edge{
+		{Name: "R1", Attrs: []A{"a", "g"}},
+	}}
+	tree, _ := h.Plan([]A{"g"})
+	r := relation.New(relation.MustSchema("a", "g"))
+	for i := 0; i < 50; i++ {
+		r.Append([]uint64{uint64(i), uint64(i % 7)}, 1)
+	}
+	var prev []uint64
+	for trial := 0; trial < 3; trial++ {
+		got, err := Run(tree, []*relation.Relation{r}, []A{"g"}, ring)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keys []uint64
+		for i := range got.Tuples {
+			keys = append(keys, got.Tuples[i][0])
+		}
+		if prev != nil {
+			if len(keys) != len(prev) {
+				t.Fatal("nondeterministic size")
+			}
+			sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+			sort.Slice(prev, func(i, j int) bool { return prev[i] < prev[j] })
+			for i := range keys {
+				if keys[i] != prev[i] {
+					t.Fatal("nondeterministic groups")
+				}
+			}
+		}
+		prev = keys
+	}
+}
+
+// TestPropertyYannakakisMatchesNaive: randomized acyclic chain/star
+// queries evaluated by the 3-phase engine must agree with the brute-force
+// evaluator (quick-driven variant of TestRandomQueriesMatchNaive).
+func TestPropertyYannakakisMatchesNaive(t *testing.T) {
+	f := func(seed int64, shape uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var edges []jointree.Edge
+		var output []A
+		switch shape % 3 {
+		case 0: // chain with tail group-by
+			edges = []jointree.Edge{
+				{Name: "R1", Attrs: []A{"a", "b"}},
+				{Name: "R2", Attrs: []A{"b", "c"}},
+				{Name: "R3", Attrs: []A{"c", "d"}},
+			}
+			output = []A{"d"}
+		case 1: // star, total aggregate
+			edges = []jointree.Edge{
+				{Name: "R1", Attrs: []A{"a", "b"}},
+				{Name: "R2", Attrs: []A{"a", "c"}},
+			}
+			output = nil
+		default: // all-output pair
+			edges = []jointree.Edge{
+				{Name: "R1", Attrs: []A{"a", "b"}},
+				{Name: "R2", Attrs: []A{"b", "c"}},
+			}
+			output = []A{"a", "b", "c"}
+		}
+		h := &jointree.Hypergraph{Edges: edges}
+		tree, err := h.Plan(output)
+		if err != nil {
+			return false
+		}
+		rels := make([]*relation.Relation, len(edges))
+		for i, e := range edges {
+			rels[i] = randomRelation(rng, relation.MustSchema(e.Attrs...), 3+rng.Intn(12), 4)
+		}
+		got, err := Run(tree, rels, output, ring)
+		if err != nil {
+			return false
+		}
+		want, err := NaiveJoinAggregate(rels, output, ring)
+		if err != nil {
+			return false
+		}
+		g := asMap(got, outputOrAll(output))
+		w := asMap(want, outputOrAll(output))
+		if len(g) != len(w) {
+			return false
+		}
+		for k, v := range w {
+			if g[k] != v%(1<<32) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package secyan is a from-scratch Go implementation of Secure
+// Yannakakis (Wang & Yi, SIGMOD 2021): a secure two-party computation
+// protocol that evaluates free-connex join-aggregate queries over the
+// parties' private relations with cost Õ(IN + OUT) — linear in the data
+// — instead of the Õ(N^k) a monolithic garbled circuit requires.
+//
+// The two parties, Alice and Bob, each own some of the query's
+// relations. They run the protocol over a Conn; Alice (the designated
+// receiver) learns the query results and nothing else, Bob learns
+// nothing beyond public parameters. The implementation is semi-honest
+// and entirely software-based: oblivious transfer, garbled circuits,
+// cuckoo-hash PSI and oblivious switching networks are built from the
+// standard library's crypto primitives (see DESIGN.md for the full
+// inventory).
+//
+// A minimal in-process session:
+//
+//	alice, bob := secyan.LocalParties(secyan.DefaultRing)
+//	q := &secyan.Query{
+//		Inputs: []secyan.Input{
+//			{Name: "visits", Owner: secyan.Bob, Schema: visits.Schema, N: visits.Len(), Rel: visits},
+//			{Name: "plans", Owner: secyan.Alice, Schema: plans.Schema, N: plans.Len(), Rel: plans},
+//		},
+//		Output: []secyan.Attr{"class"},
+//	}
+//	res, _, err := secyan.Run2PC(alice, bob,
+//		func(p *secyan.Party) (*secyan.Relation, error) { return secyan.Run(p, qFor(p)) },
+//		func(p *secyan.Party) (*secyan.Relation, error) { return secyan.Run(p, qFor(p)) },
+//	)
+//
+// where each party's query carries only its own relations (the peer's
+// Input entries have Rel = nil). For two processes, use Listen/Dial
+// instead of LocalParties.
+package secyan
+
+import (
+	"fmt"
+
+	"secyan/internal/core"
+	"secyan/internal/jointree"
+	"secyan/internal/mpc"
+	"secyan/internal/relation"
+	"secyan/internal/share"
+	"secyan/internal/transport"
+	"secyan/internal/yannakakis"
+)
+
+// Re-exported building blocks. The underlying packages live in internal/;
+// these aliases are the supported public surface.
+type (
+	// Attr names a relation attribute.
+	Attr = relation.Attr
+	// Schema is an ordered attribute list.
+	Schema = relation.Schema
+	// Relation is an annotated relation: tuples of uint64 values plus a
+	// semiring annotation per tuple.
+	Relation = relation.Relation
+	// DummyGen hands out dummy attribute values for padding.
+	DummyGen = relation.DummyGen
+	// Ring is the annotation ring Z_{2^Bits}.
+	Ring = share.Ring
+	// Role identifies a party (Alice or Bob).
+	Role = mpc.Role
+	// Party is one endpoint of a two-party session.
+	Party = mpc.Party
+	// Conn is the message transport between the parties.
+	Conn = transport.Conn
+	// Input declares one base relation of a query.
+	Input = core.Input
+	// Query is a free-connex join-aggregate query over owned relations.
+	Query = core.Query
+	// SharedResult is an un-revealed query result (annotations still
+	// secret-shared), used for query composition.
+	SharedResult = core.SharedResult
+	// Stats counts the traffic of a connection.
+	Stats = transport.Stats
+)
+
+// Party roles.
+const (
+	// Alice is the designated receiver of query results.
+	Alice = mpc.Alice
+	// Bob is the other party.
+	Bob = mpc.Bob
+)
+
+// DefaultRing is the 32-bit annotation ring used in the paper's
+// experiments (ℓ = 32, §8.2).
+var DefaultRing = share.Default
+
+// Errors exposed by the planner.
+var (
+	// ErrCyclic reports a query without a join tree.
+	ErrCyclic = jointree.ErrCyclic
+	// ErrNotFreeConnex reports an acyclic query whose output attributes
+	// violate the free-connex condition.
+	ErrNotFreeConnex = jointree.ErrNotFreeConnex
+)
+
+// NewRelation returns an empty relation over the given attributes; panics
+// on duplicate names (use relation construction early in setup).
+func NewRelation(attrs ...Attr) *Relation {
+	return relation.New(relation.MustSchema(attrs...))
+}
+
+// NewParty wraps a connection into a protocol endpoint. Pass a zero Ring
+// for the default 32-bit annotations.
+func NewParty(role Role, conn Conn, ring Ring) *Party {
+	return mpc.NewParty(role, conn, ring)
+}
+
+// LocalParties returns two connected in-process parties, for tests,
+// benchmarks and demos.
+func LocalParties(ring Ring) (alice, bob *Party) {
+	return mpc.Pair(ring)
+}
+
+// Listen accepts one TCP connection and wraps it for the given role.
+func Listen(addr string, role Role, ring Ring) (*Party, error) {
+	c, err := transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return mpc.NewParty(role, c, ring), nil
+}
+
+// Dial connects to a listening peer and wraps the connection.
+func Dial(addr string, role Role, ring Ring) (*Party, error) {
+	c, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return mpc.NewParty(role, c, ring), nil
+}
+
+// Run2PC drives both halves of an in-process protocol run concurrently.
+func Run2PC[A, B any](alice, bob *Party, fa func(*Party) (A, error), fb func(*Party) (B, error)) (A, B, error) {
+	return mpc.Run2PC(alice, bob, fa, fb)
+}
+
+// Run executes the secure Yannakakis protocol. Alice receives the query
+// results; Bob receives nil. Both parties must describe the same query
+// and attach only their own relations.
+func Run(p *Party, q *Query) (*Relation, error) {
+	return core.Run(p, q)
+}
+
+// RunShared executes the protocol but keeps the result annotations in
+// secret-shared form, enabling the compositions of paper §7 (avg,
+// ratios, differences of sums).
+func RunShared(p *Party, q *Query) (*SharedResult, error) {
+	return core.RunShared(p, q)
+}
+
+// RevealRatio reveals (num·scale)/den per result row to Alice — the
+// composition used for AVG and market-share style aggregates.
+func RevealRatio(p *Party, num, den *SharedResult, scale uint64) (*Relation, error) {
+	return core.RevealRatio(p, num, den, scale)
+}
+
+// CheckFreeConnex verifies that the query is answerable by the protocol,
+// returning ErrCyclic, ErrNotFreeConnex, or nil.
+func CheckFreeConnex(q *Query, output []Attr) error {
+	_, err := q.Hypergraph().Plan(output)
+	return err
+}
+
+// Plaintext evaluates the query in the clear with the (non-private)
+// Yannakakis engine — the baseline of the paper's experiments and a
+// reference for testing. Every Input must carry its relation.
+func Plaintext(q *Query, ring Ring) (*Relation, error) {
+	rels := make([]*Relation, len(q.Inputs))
+	for i, in := range q.Inputs {
+		if in.Rel == nil {
+			return nil, fmt.Errorf("secyan: plaintext evaluation needs all relations (missing %s)", in.Name)
+		}
+		rels[i] = in.Rel
+	}
+	tree, err := q.Hypergraph().Plan(q.Output)
+	if err != nil {
+		return nil, err
+	}
+	res, err := yannakakis.Run(tree, rels, q.Output, relation.RingSemiring{Bits: ringBits(ring)})
+	if err != nil {
+		return nil, err
+	}
+	return res.DropZeroAnnotated(), nil
+}
+
+func ringBits(r Ring) int {
+	if r.Bits == 0 {
+		return share.Default.Bits
+	}
+	return r.Bits
+}
+
+// Plan is an execution plan with per-step communication estimates; see
+// Explain.
+type Plan = core.Plan
+
+// Explain derives the execution plan and a communication estimate for a
+// query from public parameters only (both parties compute identical
+// plans — a restatement of obliviousness). estOut is the assumed output
+// size for the join-phase steps of multi-survivor queries.
+func Explain(q *Query, ring Ring, estOut int) (*Plan, error) {
+	return core.Explain(q, ringBits(ring), estOut)
+}

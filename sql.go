@@ -1,0 +1,68 @@
+package secyan
+
+import (
+	"secyan/internal/mpc"
+	"secyan/internal/sqlfront"
+)
+
+// SQL front end: a small SQL subset — exactly the free-connex
+// join-aggregate class the protocol evaluates — compiled to secure query
+// plans. See package internal/sqlfront for the grammar; in short:
+//
+//	SELECT r3.class, SUM(r2.cost * (100 - r1.coinsurance))
+//	FROM r1, r2, r3
+//	WHERE r1.person = r2.person AND r2.disease = r3.disease
+//	  AND r1.state IN (3, 5)
+//	GROUP BY r3.class
+//
+// One aggregate per query (SUM of a product of columns/constants,
+// COUNT(*), or AVG — compiled as the §7 sum/count composition);
+// equality joins; private selections against constants (including
+// 'YYYY-MM-DD' date literals).
+
+type (
+	// SQLStatement is a parsed SQL query.
+	SQLStatement = sqlfront.Statement
+	// SQLCatalog maps table names to their (per-party) definitions.
+	SQLCatalog = sqlfront.Catalog
+	// SQLTable defines one catalog table: owner, public columns and
+	// size, plus the data on the owner's side.
+	SQLTable = sqlfront.TableDef
+	// SQLQuery is a compiled, executable secure query.
+	SQLQuery = sqlfront.Compiled
+)
+
+// ParseSQL parses the SQL subset.
+func ParseSQL(src string) (*SQLStatement, error) {
+	return sqlfront.Parse(src)
+}
+
+// CompileSQL type-checks a parsed statement against this party's catalog
+// and prepares the secure query plan. Both parties compile the same
+// statement against their own catalog views (identical apart from which
+// tables carry data) and then call Exec concurrently.
+func CompileSQL(st *SQLStatement, cat *SQLCatalog) (*SQLQuery, error) {
+	return sqlfront.Compile(st, cat)
+}
+
+// ExecSQL parses, compiles and runs a query in one call. Alice receives
+// the result relation; Bob receives nil.
+func ExecSQL(p *Party, src string, cat *SQLCatalog) (*Relation, error) {
+	st, err := sqlfront.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c, err := sqlfront.Compile(st, cat)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Check(); err != nil {
+		return nil, err
+	}
+	return c.Exec(p)
+}
+
+// NewSQLTable builds a catalog entry. Pass rel only on the owner's side.
+func NewSQLTable(owner Role, columns []Attr, n int, rel *Relation) *SQLTable {
+	return &sqlfront.TableDef{Owner: mpc.Role(owner), Columns: columns, N: n, Rel: rel}
+}
