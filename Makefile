@@ -1,0 +1,40 @@
+# Developer and CI entry points. The heavy TPC-H secure-protocol tests
+# are gated behind testing.Short(), so `make race` stays fast while
+# `make test` runs the full tier-1 suite.
+
+GO ?= go
+
+.PHONY: all test short race bench vet fuzz
+
+all: vet test
+
+# Tier-1 verification: full build plus the complete test suite.
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# Fast suite: skips the full secure TPC-H query runs.
+short:
+	$(GO) test -short ./...
+
+# Race detector over the parallel crypto kernels and everything else;
+# -short keeps the slow TPC-H figures out of the (already ~10x slower)
+# instrumented run.
+race:
+	$(GO) test -race -short ./...
+
+# Worker-count scaling benchmarks for the parallel kernels (IKNP
+# extension, garbling/evaluation, bit-matrix transpose) plus the
+# remaining micro-benchmarks. Paper-figure benchmarks live behind
+# `go test -bench Figure .` and cmd/secyan-bench.
+bench:
+	$(GO) test -run '^$$' -bench 'Workers' -benchmem ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz bursts for the transpose involution and the TCP framing
+# decoder; extend -fuzztime locally for real fuzzing sessions.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzTranspose -fuzztime 10s ./internal/bitutil
+	$(GO) test -run '^$$' -fuzz FuzzRecvFraming -fuzztime 10s ./internal/transport

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"secyan/internal/benchmark"
+	"secyan/internal/parallel"
 	"secyan/internal/queries"
 	"secyan/internal/share"
 )
@@ -34,7 +35,12 @@ func main() {
 	q9nations := flag.Int("q9nations", 2, "nations in the Q9 decomposition (paper: 25)")
 	seed := flag.Int64("seed", 1, "data generation seed")
 	ell := flag.Int("ell", 32, "annotation bit width (paper: 32)")
+	workers := flag.Int("workers", 0, "crypto-kernel worker count, 0 for GOMAXPROCS; pin to 1 for strictly serial reference runs")
 	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	var scales []float64
 	for _, s := range strings.Split(*scalesFlag, ",") {

@@ -20,6 +20,9 @@ func tinyOptions() Options {
 }
 
 func TestRunFigureProducesAllSeries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("secure TPC-H figure run skipped in -short mode")
+	}
 	pts, err := RunFigure(queries.Q3(), tinyOptions(), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -37,6 +40,9 @@ func TestRunFigureProducesAllSeries(t *testing.T) {
 }
 
 func TestRunFigureExtrapolationMarksPoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("secure TPC-H figure run skipped in -short mode")
+	}
 	pts, err := RunFigure(queries.Q3(), tinyOptions(), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -61,6 +67,9 @@ func TestRunFigureExtrapolationMarksPoints(t *testing.T) {
 func TestPaperShapeHolds(t *testing.T) {
 	// The qualitative result of the paper at any scale: plain < secure
 	// Yannakakis < garbled circuit, in both time and communication.
+	if testing.Short() {
+		t.Skip("secure TPC-H figure run skipped in -short mode")
+	}
 	pts, err := RunFigure(queries.Q3(), tinyOptions(), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -81,6 +90,9 @@ func TestPaperShapeHolds(t *testing.T) {
 }
 
 func TestGCGrowsSuperlinearly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("secure TPC-H figure run skipped in -short mode")
+	}
 	pts, err := RunFigure(queries.Q3(), tinyOptions(), nil)
 	if err != nil {
 		t.Fatal(err)
@@ -104,6 +116,9 @@ func TestGCGrowsSuperlinearly(t *testing.T) {
 }
 
 func TestPrintFigureRendersBothPanels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("secure TPC-H figure run skipped in -short mode")
+	}
 	pts, err := RunFigure(queries.Q3(), tinyOptions(), nil)
 	if err != nil {
 		t.Fatal(err)

@@ -4,6 +4,8 @@
 // row-wise.
 package bitutil
 
+import "secyan/internal/parallel"
+
 // Vector is a packed little-endian bit vector: bit i lives at
 // word i/64, position i%64.
 type Vector struct {
@@ -151,32 +153,41 @@ func (m *Matrix) RowBytes(r int) []byte {
 
 // Transpose returns the cols×rows transpose of m, processed in 64×64
 // blocks for cache efficiency. Padding bits are zero.
+//
+// Column blocks of m are independent — block cb produces exactly the
+// transpose rows cb..cb+63 — so they are farmed out to the worker pool.
+// Each index writes a disjoint region of the output, which keeps the
+// result byte-identical at every worker count.
 func (m *Matrix) Transpose() *Matrix {
 	t := NewMatrix(m.Cols, m.Rows)
-	var blk [64]uint64
-	for rb := 0; rb < m.Rows; rb += 64 {
-		for cb := 0; cb < m.Cols; cb += 64 {
-			// Load a 64×64 block; rows beyond bounds are zero.
-			for i := 0; i < 64; i++ {
-				r := rb + i
-				if r < m.Rows && cb/64 < m.rowWords {
-					blk[i] = m.bits[r*m.rowWords+cb/64]
-				} else {
-					blk[i] = 0
+	cbBlocks := (m.Cols + 63) / 64
+	parallel.For(cbBlocks, 2, func(lo, hi int) {
+		var blk [64]uint64
+		for cbi := lo; cbi < hi; cbi++ {
+			cb := cbi * 64
+			for rb := 0; rb < m.Rows; rb += 64 {
+				// Load a 64×64 block; rows beyond bounds are zero.
+				for i := 0; i < 64; i++ {
+					r := rb + i
+					if r < m.Rows && cb/64 < m.rowWords {
+						blk[i] = m.bits[r*m.rowWords+cb/64]
+					} else {
+						blk[i] = 0
+					}
 				}
-			}
-			transpose64(&blk)
-			// blk is now column-major for the original block: blk[j] holds
-			// original column cb+j across rows rb..rb+63, i.e. row cb+j of
-			// the transpose at word rb/64.
-			for j := 0; j < 64; j++ {
-				c := cb + j
-				if c < m.Cols && rb/64 < t.rowWords {
-					t.bits[c*t.rowWords+rb/64] = blk[j]
+				transpose64(&blk)
+				// blk is now column-major for the original block: blk[j] holds
+				// original column cb+j across rows rb..rb+63, i.e. row cb+j of
+				// the transpose at word rb/64.
+				for j := 0; j < 64; j++ {
+					c := cb + j
+					if c < m.Cols && rb/64 < t.rowWords {
+						t.bits[c*t.rowWords+rb/64] = blk[j]
+					}
 				}
 			}
 		}
-	}
+	})
 	// Clear slack bits in the transpose (original row padding).
 	if t.Cols%64 != 0 {
 		mask := (uint64(1) << (uint(t.Cols) % 64)) - 1

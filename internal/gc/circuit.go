@@ -13,7 +13,10 @@
 // relies on for its constant-round operator protocols.
 package gc
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Wire identifies a Boolean wire in a circuit.
 type Wire int32
@@ -70,6 +73,11 @@ type Circuit struct {
 	// XORG/ANDG gates. The garbler supplies them separately from its
 	// regular inputs; they cost no wire labels on the network.
 	NumPrivate int
+
+	// Cached parallel execution plan; computed lazily by scheduleOf.
+	// Circuits must be shared by pointer once garbled or evaluated.
+	schedOnce sync.Once
+	sched     *schedule
 }
 
 // TableBlocks returns the number of 128-bit ciphertexts in the garbled

@@ -1,0 +1,374 @@
+package gc
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"secyan/internal/ot"
+	"secyan/internal/parallel"
+	"secyan/internal/prf"
+	"secyan/internal/transport"
+)
+
+// equivCircuit builds a circuit with real AND depth (multiplication,
+// division, comparisons) plus private-bit gates, so the layered schedule
+// has many layers with wide AND batches.
+func equivCircuit() (*Circuit, []bool, []bool, []bool) {
+	b := NewBuilder()
+	x := b.GarblerInputWord(32)
+	y := b.EvalInputWord(32)
+	ps := b.PrivateWord(32)
+
+	prod := b.Mul(x, y)
+	masked := b.XORGWord(prod, ps)
+	quot, rem := b.DivMod(masked, y)
+	gt := b.GreaterThan(quot, rem)
+	b.OutputWordToEval(quot)
+	b.OutputToEval(gt)
+	b.OutputWordToGarbler(rem)
+	c := b.Build()
+
+	gbits := BitsOfUint(0xDEADBEEF, 32)
+	ebits := BitsOfUint(12345, 32)
+	priv := BitsOfUint(0x5A5A5A5A, 32)
+	return c, gbits, ebits, priv
+}
+
+// withWorkers pins the parallel worker count for the test's duration.
+func withWorkers(t testing.TB, n int) {
+	t.Helper()
+	prev := parallel.SetWorkers(n)
+	t.Cleanup(func() { parallel.SetWorkers(prev) })
+}
+
+// TestGarbleByteIdenticalAcrossWorkers is the strongest form of the
+// transcript-determinism guarantee: with a fixed PRG seed, the garbler's
+// entire state — Δ, every wire label, every table ciphertext — must be
+// byte-for-byte identical at any worker count.
+func TestGarbleByteIdenticalAcrossWorkers(t *testing.T) {
+	c, _, _, priv := equivCircuit()
+	seed := prf.Seed{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+
+	garbleAt := func(workers int) *garbled {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		return garble(c, prf.NewPRG(seed), priv)
+	}
+
+	ref := garbleAt(1)
+	for _, workers := range []int{2, 4} {
+		got := garbleAt(workers)
+		if got.delta != ref.delta {
+			t.Fatalf("workers=%d: delta differs", workers)
+		}
+		if len(got.labels) != len(ref.labels) || len(got.tables) != len(ref.tables) {
+			t.Fatalf("workers=%d: size mismatch", workers)
+		}
+		for i := range ref.labels {
+			if got.labels[i] != ref.labels[i] {
+				t.Fatalf("workers=%d: label of wire %d differs", workers, i)
+			}
+		}
+		for i := range ref.tables {
+			if got.tables[i] != ref.tables[i] {
+				t.Fatalf("workers=%d: table block %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestEvaluateByteIdenticalAcrossWorkers drives the evaluator over the
+// same garbled circuit at several worker counts and requires every
+// active label to match the serial run exactly.
+func TestEvaluateByteIdenticalAcrossWorkers(t *testing.T) {
+	c, gbits, ebits, priv := equivCircuit()
+	seed := prf.Seed{42}
+	gb := garble(c, prf.NewPRG(seed), priv)
+
+	mkActive := func() []prf.Block {
+		active := make([]prf.Block, c.NumWires)
+		active[c.Const0] = gb.labels[c.Const0]
+		for i, w := range c.GarblerInputs {
+			l := gb.labels[w]
+			if gbits[i] {
+				l = prf.XORBlockValue(l, gb.delta)
+			}
+			active[w] = l
+		}
+		for i, w := range c.EvalInputs {
+			l := gb.labels[w]
+			if ebits[i] {
+				l = prf.XORBlockValue(l, gb.delta)
+			}
+			active[w] = l
+		}
+		return active
+	}
+
+	evalAt := func(workers int) []prf.Block {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		active := mkActive()
+		if err := evaluate(c, active, gb.tables); err != nil {
+			t.Fatalf("workers=%d: evaluate: %v", workers, err)
+		}
+		return active
+	}
+
+	ref := evalAt(1)
+	for _, workers := range []int{2, 4} {
+		got := evalAt(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: active label of wire %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestProtocol2PCStatsInvariantAcrossWorkers runs the full garbled
+// protocol (garble, OT for evaluator inputs, evaluate, output exchange)
+// at worker counts 1 and 4 and requires identical outputs and identical
+// transport.Stats on both endpoints.
+func TestProtocol2PCStatsInvariantAcrossWorkers(t *testing.T) {
+	c, gbits, ebits, priv := equivCircuit()
+	wantEval, wantGarbler, err := c.EvalPlain(gbits, ebits, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type result struct {
+		evalOut, garblerOut []bool
+		aStats, bStats      transport.Stats
+	}
+	runAt := func(workers int) result {
+		prev := parallel.SetWorkers(workers)
+		defer parallel.SetWorkers(prev)
+		a, b := transport.Pair()
+		defer a.Close()
+		defer b.Close()
+		type gres struct {
+			out []bool
+			err error
+		}
+		ch := make(chan gres, 1)
+		go func() {
+			snd, err := ot.NewSender(a)
+			if err != nil {
+				ch <- gres{nil, err}
+				return
+			}
+			out, err := RunGarbler(a, snd, c, gbits, priv)
+			ch <- gres{out, err}
+		}()
+		rcv, err := ot.NewReceiver(b)
+		if err != nil {
+			t.Fatalf("workers=%d: ot receiver: %v", workers, err)
+		}
+		evalOut, err := RunEvaluator(b, rcv, c, ebits)
+		if err != nil {
+			t.Fatalf("workers=%d: RunEvaluator: %v", workers, err)
+		}
+		g := <-ch
+		if g.err != nil {
+			t.Fatalf("workers=%d: RunGarbler: %v", workers, g.err)
+		}
+		return result{evalOut, g.out, a.Stats(), b.Stats()}
+	}
+
+	ref := runAt(1)
+	if !reflect.DeepEqual(ref.evalOut, wantEval) || !reflect.DeepEqual(ref.garblerOut, wantGarbler) {
+		t.Fatal("serial run disagrees with plaintext reference")
+	}
+	for _, workers := range []int{4} {
+		got := runAt(workers)
+		if !reflect.DeepEqual(got.evalOut, ref.evalOut) || !reflect.DeepEqual(got.garblerOut, ref.garblerOut) {
+			t.Fatalf("workers=%d: outputs differ from serial run", workers)
+		}
+		if got.aStats != ref.aStats {
+			t.Fatalf("workers=%d: garbler stats %+v, serial %+v", workers, got.aStats, ref.aStats)
+		}
+		if got.bStats != ref.bStats {
+			t.Fatalf("workers=%d: evaluator stats %+v, serial %+v", workers, got.bStats, ref.bStats)
+		}
+	}
+}
+
+// TestScheduleMatchesSerialSemantics cross-checks the layered execution
+// against the plaintext reference on the deep circuit.
+func TestScheduleMatchesSerialSemantics(t *testing.T) {
+	c, gbits, ebits, priv := equivCircuit()
+	wantEval, wantGarbler, err := c.EvalPlain(gbits, ebits, priv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		withWorkers(t, workers)
+		evalOut, garblerOut := run2PC(t, c, gbits, ebits, priv)
+		for i := range wantEval {
+			if evalOut[i] != wantEval[i] {
+				t.Fatalf("workers=%d: eval output bit %d differs from plain", workers, i)
+			}
+		}
+		for i := range wantGarbler {
+			if garblerOut[i] != wantGarbler[i] {
+				t.Fatalf("workers=%d: garbler output bit %d differs from plain", workers, i)
+			}
+		}
+	}
+}
+
+// BenchmarkGarbleWorkers measures half-gates garbling of a wide, deep
+// circuit (a tree of 32-bit multipliers) at pinned worker counts.
+func BenchmarkGarbleWorkers(b *testing.B) {
+	bd := NewBuilder()
+	words := make([]Word, 16)
+	for i := range words {
+		words[i] = bd.GarblerInputWord(32)
+	}
+	for len(words) > 1 {
+		var next []Word
+		for i := 0; i+1 < len(words); i += 2 {
+			next = append(next, bd.Mul(words[i], words[i+1]))
+		}
+		words = next
+	}
+	bd.OutputWordToEval(words[0])
+	c := bd.Build()
+	c.scheduleOf() // exclude one-time schedule construction from timing
+	priv := make([]bool, c.NumPrivate)
+	seed := prf.Seed{9}
+
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			prev := parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(prev)
+			b.ReportMetric(float64(c.NumAnd), "and_gates")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = garble(c, prf.NewPRG(seed), priv)
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluateWorkers measures the evaluator's half of the same
+// circuit at pinned worker counts.
+func BenchmarkEvaluateWorkers(b *testing.B) {
+	bd := NewBuilder()
+	words := make([]Word, 16)
+	for i := range words {
+		words[i] = bd.GarblerInputWord(32)
+	}
+	for len(words) > 1 {
+		var next []Word
+		for i := 0; i+1 < len(words); i += 2 {
+			next = append(next, bd.Mul(words[i], words[i+1]))
+		}
+		words = next
+	}
+	bd.OutputWordToEval(words[0])
+	c := bd.Build()
+	priv := make([]bool, c.NumPrivate)
+	gb := garble(c, prf.NewPRG(prf.Seed{9}), priv)
+	active := make([]prf.Block, c.NumWires)
+	active[c.Const0] = gb.labels[c.Const0]
+	for _, w := range c.GarblerInputs {
+		active[w] = gb.labels[w]
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			prev := parallel.SetWorkers(workers)
+			defer parallel.SetWorkers(prev)
+			buf := make([]prf.Block, len(active))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				copy(buf, active)
+				if err := evaluate(c, buf, gb.tables); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestScheduleCoversAllGates sanity-checks the layering: every gate
+// appears exactly once, free gates before the AND batch that consumes
+// them, and the per-gate tweak/table offsets match a serial sweep.
+func TestScheduleCoversAllGates(t *testing.T) {
+	c, _, _, _ := equivCircuit()
+	sched := c.scheduleOf()
+
+	seen := make([]bool, len(c.Gates))
+	var tw uint64
+	var tb int32
+	serialTweak := make([]uint64, len(c.Gates))
+	serialTable := make([]int32, len(c.Gates))
+	for gi, g := range c.Gates {
+		switch g.Kind {
+		case GateAND:
+			serialTweak[gi] = tw
+			serialTable[gi] = tb
+			tw += 2
+			tb += 2
+		case GateANDG:
+			serialTweak[gi] = tw
+			serialTable[gi] = tb
+			tw++
+			tb++
+		}
+	}
+
+	ready := make([]bool, c.NumWires)
+	ready[c.Const0] = true
+	for _, w := range c.GarblerInputs {
+		ready[w] = true
+	}
+	for _, w := range c.EvalInputs {
+		ready[w] = true
+	}
+	checkGate := func(gi int32) {
+		g := c.Gates[gi]
+		if seen[gi] {
+			t.Fatalf("gate %d scheduled twice", gi)
+		}
+		seen[gi] = true
+		if !ready[g.A] {
+			t.Fatalf("gate %d reads unready wire %d", gi, g.A)
+		}
+		if g.Kind == GateXOR || g.Kind == GateAND {
+			if !ready[g.B] {
+				t.Fatalf("gate %d reads unready wire %d", gi, g.B)
+			}
+		}
+		if isAndKind(g.Kind) {
+			if sched.tweak[gi] != serialTweak[gi] {
+				t.Fatalf("gate %d tweak = %d, serial %d", gi, sched.tweak[gi], serialTweak[gi])
+			}
+			if sched.table[gi] != serialTable[gi] {
+				t.Fatalf("gate %d table = %d, serial %d", gi, sched.table[gi], serialTable[gi])
+			}
+		}
+	}
+	for _, ly := range sched.layers {
+		for _, gi := range ly.free {
+			checkGate(gi)
+			ready[c.Gates[gi].Out] = true
+		}
+		// AND gates of a layer must be independent: all inputs ready
+		// before any output of the batch is marked.
+		for _, gi := range ly.and {
+			checkGate(gi)
+		}
+		for _, gi := range ly.and {
+			ready[c.Gates[gi].Out] = true
+		}
+	}
+	for gi := range seen {
+		if !seen[gi] {
+			t.Fatalf("gate %d never scheduled", gi)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package gc
 import (
 	"fmt"
 
+	"secyan/internal/parallel"
 	"secyan/internal/prf"
 )
 
@@ -11,16 +12,22 @@ import (
 type garbled struct {
 	delta  prf.Block
 	labels []prf.Block // zero labels, indexed by wire
-	tables []prf.Block // two blocks per AND gate, in gate order
+	tables []prf.Block // two blocks per AND gate, one per ANDG, in gate order
 }
 
 // garble garbles c using randomness from g. The point-and-permute
 // invariant lsb(Δ)=1 makes the label's LSB a masked truth value. priv
 // supplies the garbler-private bits consumed by XORG/ANDG gates.
+//
+// Gates are processed layer by layer (see schedule.go): free gates
+// serially, the independent AND/ANDG gates of each layer in parallel.
+// All randomness is drawn before the gate sweep and every gate's tweak
+// and table offset comes from the serial order, so the resulting labels
+// and tables are byte-identical at any worker count.
 func garble(c *Circuit, g *prf.PRG, priv []bool) *garbled {
 	gb := &garbled{
 		labels: make([]prf.Block, c.NumWires),
-		tables: make([]prf.Block, 0, c.TableBlocks()),
+		tables: make([]prf.Block, c.TableBlocks()),
 	}
 	randBlock := func() prf.Block {
 		var b prf.Block
@@ -38,126 +45,154 @@ func garble(c *Circuit, g *prf.PRG, priv []bool) *garbled {
 		gb.labels[w] = randBlock()
 	}
 
-	var tweak uint64
-	for _, gate := range c.Gates {
-		switch gate.Kind {
-		case GateXOR:
-			gb.labels[gate.Out] = prf.XORBlockValue(gb.labels[gate.A], gb.labels[gate.B])
-		case GateNOT:
-			// The zero-label of the output is the one-label of the input.
-			gb.labels[gate.Out] = prf.XORBlockValue(gb.labels[gate.A], gb.delta)
-		case GateAND:
-			a0 := gb.labels[gate.A]
-			b0 := gb.labels[gate.B]
-			a1 := prf.XORBlockValue(a0, gb.delta)
-			b1 := prf.XORBlockValue(b0, gb.delta)
-			pa := a0.LSB()
-			pb := b0.LSB()
-			t1 := tweak
-			t2 := tweak + 1
-			tweak += 2
-
-			// Garbler half-gate.
-			ha0 := prf.HashBlock(a0, t1)
-			ha1 := prf.HashBlock(a1, t1)
-			tg := prf.XORBlockValue(ha0, ha1)
-			if pb == 1 {
-				tg = prf.XORBlockValue(tg, gb.delta)
+	sched := c.scheduleOf()
+	for _, ly := range sched.layers {
+		for _, gi := range ly.free {
+			gate := c.Gates[gi]
+			switch gate.Kind {
+			case GateXOR:
+				gb.labels[gate.Out] = prf.XORBlockValue(gb.labels[gate.A], gb.labels[gate.B])
+			case GateNOT:
+				// The zero-label of the output is the one-label of the input.
+				gb.labels[gate.Out] = prf.XORBlockValue(gb.labels[gate.A], gb.delta)
+			case GateXORG:
+				// XOR with a garbler-private constant: flip the zero-label's
+				// meaning when the bit is set. Free for the evaluator.
+				l := gb.labels[gate.A]
+				if priv[gate.B] {
+					l = prf.XORBlockValue(l, gb.delta)
+				}
+				gb.labels[gate.Out] = l
 			}
-			wg := ha0
-			if pa == 1 {
-				wg = prf.XORBlockValue(wg, tg)
-			}
-
-			// Evaluator half-gate.
-			hb0 := prf.HashBlock(b0, t2)
-			hb1 := prf.HashBlock(b1, t2)
-			te := prf.XORBlockValue(prf.XORBlockValue(hb0, hb1), a0)
-			we := hb0
-			if pb == 1 {
-				we = prf.XORBlockValue(we, prf.XORBlockValue(te, a0))
-			}
-
-			gb.labels[gate.Out] = prf.XORBlockValue(wg, we)
-			gb.tables = append(gb.tables, tg, te)
-		case GateXORG:
-			// XOR with a garbler-private constant: flip the zero-label's
-			// meaning when the bit is set. Free for the evaluator.
-			l := gb.labels[gate.A]
-			if priv[gate.B] {
-				l = prf.XORBlockValue(l, gb.delta)
-			}
-			gb.labels[gate.Out] = l
-		case GateANDG:
-			// AND with a garbler-private constant: a single garbler
-			// half-gate (one ciphertext).
-			a0 := gb.labels[gate.A]
-			a1 := prf.XORBlockValue(a0, gb.delta)
-			pa := a0.LSB()
-			t := tweak
-			tweak++
-			ha0 := prf.HashBlock(a0, t)
-			ha1 := prf.HashBlock(a1, t)
-			tg := prf.XORBlockValue(ha0, ha1)
-			if priv[gate.B] {
-				tg = prf.XORBlockValue(tg, gb.delta)
-			}
-			out := ha0
-			if pa == 1 {
-				out = prf.XORBlockValue(out, tg)
-			}
-			gb.labels[gate.Out] = out
-			gb.tables = append(gb.tables, tg)
 		}
+		parallel.For(len(ly.and), 16, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				gb.garbleAnd(c, sched, int(ly.and[k]), priv)
+			}
+		})
 	}
 	return gb
 }
 
+// garbleAnd garbles the AND or ANDG gate at index gi. It reads only
+// labels produced by earlier layers and writes only the gate's output
+// label and its own table slots, so gates of one layer may run
+// concurrently.
+func (gb *garbled) garbleAnd(c *Circuit, sched *schedule, gi int, priv []bool) {
+	gate := c.Gates[gi]
+	switch gate.Kind {
+	case GateAND:
+		a0 := gb.labels[gate.A]
+		b0 := gb.labels[gate.B]
+		a1 := prf.XORBlockValue(a0, gb.delta)
+		b1 := prf.XORBlockValue(b0, gb.delta)
+		pa := a0.LSB()
+		pb := b0.LSB()
+		t1 := sched.tweak[gi]
+		t2 := t1 + 1
+
+		// Garbler half-gate.
+		ha0 := prf.HashBlock(a0, t1)
+		ha1 := prf.HashBlock(a1, t1)
+		tg := prf.XORBlockValue(ha0, ha1)
+		if pb == 1 {
+			tg = prf.XORBlockValue(tg, gb.delta)
+		}
+		wg := ha0
+		if pa == 1 {
+			wg = prf.XORBlockValue(wg, tg)
+		}
+
+		// Evaluator half-gate.
+		hb0 := prf.HashBlock(b0, t2)
+		hb1 := prf.HashBlock(b1, t2)
+		te := prf.XORBlockValue(prf.XORBlockValue(hb0, hb1), a0)
+		we := hb0
+		if pb == 1 {
+			we = prf.XORBlockValue(we, prf.XORBlockValue(te, a0))
+		}
+
+		gb.labels[gate.Out] = prf.XORBlockValue(wg, we)
+		gb.tables[sched.table[gi]] = tg
+		gb.tables[sched.table[gi]+1] = te
+	case GateANDG:
+		// AND with a garbler-private constant: a single garbler
+		// half-gate (one ciphertext).
+		a0 := gb.labels[gate.A]
+		a1 := prf.XORBlockValue(a0, gb.delta)
+		pa := a0.LSB()
+		t := sched.tweak[gi]
+		ha0 := prf.HashBlock(a0, t)
+		ha1 := prf.HashBlock(a1, t)
+		tg := prf.XORBlockValue(ha0, ha1)
+		if priv[gate.B] {
+			tg = prf.XORBlockValue(tg, gb.delta)
+		}
+		out := ha0
+		if pa == 1 {
+			out = prf.XORBlockValue(out, tg)
+		}
+		gb.labels[gate.Out] = out
+		gb.tables[sched.table[gi]] = tg
+	}
+}
+
 // evaluate runs the evaluator side over active labels. active must contain
-// the active labels of Const0, all inputs; tables are the AND tables.
+// the active labels of Const0, all inputs; tables are the AND tables. It
+// follows the same layered schedule as garble, with the same
+// determinism guarantee.
 func evaluate(c *Circuit, active []prf.Block, tables []prf.Block) error {
 	if len(tables) != c.TableBlocks() {
 		return fmt.Errorf("gc: got %d table blocks, want %d", len(tables), c.TableBlocks())
 	}
-	var tweak uint64
-	ti := 0
-	for _, gate := range c.Gates {
-		switch gate.Kind {
-		case GateXOR:
-			active[gate.Out] = prf.XORBlockValue(active[gate.A], active[gate.B])
-		case GateNOT:
-			active[gate.Out] = active[gate.A]
-		case GateAND:
-			wa := active[gate.A]
-			wb := active[gate.B]
-			sa := wa.LSB()
-			sb := wb.LSB()
-			tg := tables[ti]
-			te := tables[ti+1]
-			ti += 2
-			wg := prf.HashBlock(wa, tweak)
-			if sa == 1 {
-				wg = prf.XORBlockValue(wg, tg)
+	sched := c.scheduleOf()
+	for _, ly := range sched.layers {
+		for _, gi := range ly.free {
+			gate := c.Gates[gi]
+			switch gate.Kind {
+			case GateXOR:
+				active[gate.Out] = prf.XORBlockValue(active[gate.A], active[gate.B])
+			case GateNOT, GateXORG:
+				active[gate.Out] = active[gate.A]
 			}
-			we := prf.HashBlock(wb, tweak+1)
-			if sb == 1 {
-				we = prf.XORBlockValue(we, prf.XORBlockValue(te, wa))
-			}
-			tweak += 2
-			active[gate.Out] = prf.XORBlockValue(wg, we)
-		case GateXORG:
-			active[gate.Out] = active[gate.A]
-		case GateANDG:
-			wa := active[gate.A]
-			tg := tables[ti]
-			ti++
-			out := prf.HashBlock(wa, tweak)
-			tweak++
-			if wa.LSB() == 1 {
-				out = prf.XORBlockValue(out, tg)
-			}
-			active[gate.Out] = out
 		}
+		parallel.For(len(ly.and), 16, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				evalAnd(c, sched, int(ly.and[k]), active, tables)
+			}
+		})
 	}
 	return nil
+}
+
+// evalAnd evaluates the AND or ANDG gate at index gi over active labels.
+func evalAnd(c *Circuit, sched *schedule, gi int, active, tables []prf.Block) {
+	gate := c.Gates[gi]
+	switch gate.Kind {
+	case GateAND:
+		wa := active[gate.A]
+		wb := active[gate.B]
+		sa := wa.LSB()
+		sb := wb.LSB()
+		tg := tables[sched.table[gi]]
+		te := tables[sched.table[gi]+1]
+		tweak := sched.tweak[gi]
+		wg := prf.HashBlock(wa, tweak)
+		if sa == 1 {
+			wg = prf.XORBlockValue(wg, tg)
+		}
+		we := prf.HashBlock(wb, tweak+1)
+		if sb == 1 {
+			we = prf.XORBlockValue(we, prf.XORBlockValue(te, wa))
+		}
+		active[gate.Out] = prf.XORBlockValue(wg, we)
+	case GateANDG:
+		wa := active[gate.A]
+		tg := tables[sched.table[gi]]
+		out := prf.HashBlock(wa, sched.tweak[gi])
+		if wa.LSB() == 1 {
+			out = prf.XORBlockValue(out, tg)
+		}
+		active[gate.Out] = out
+	}
 }

@@ -1,0 +1,109 @@
+package gc
+
+// This file computes the parallel execution schedule of a circuit: a
+// partition of the gates into layers such that the AND/ANDG gates inside
+// one layer are mutually independent and can be garbled or evaluated
+// concurrently, while all free gates (XOR/NOT/XORG) run serially between
+// the crypto batches. Because the per-gate hash tweaks and table offsets
+// are precomputed from the *serial* gate order, the schedule produces
+// byte-for-byte the same labels and tables as a sequential sweep at any
+// worker count — the transcript-determinism invariant the equivalence
+// tests enforce.
+
+// layer groups gates that execute together: free gates first (serially,
+// in original order), then the AND/ANDG batch (in parallel, each gate
+// writing only its own output wire and table slots).
+type layer struct {
+	free []int32 // gate indices of XOR/NOT/XORG gates
+	and  []int32 // gate indices of AND/ANDG gates, mutually independent
+}
+
+// schedule is the cached parallel execution plan of a circuit.
+type schedule struct {
+	layers []layer
+	// tweak[gi] is the hash tweak the serial sweep would reach at gate gi
+	// (AND gates consume two consecutive tweaks, ANDG one).
+	tweak []uint64
+	// table[gi] is the index of gate gi's first ciphertext block in the
+	// garbled tables (AND gates occupy two blocks, ANDG one).
+	table []int32
+}
+
+func isAndKind(k GateKind) bool { return k == GateAND || k == GateANDG }
+
+// buildSchedule levels the circuit. A wire's level is the number of
+// AND/ANDG gates on its deepest path from an input; an AND gate at level
+// L depends only on wires produced at levels < L, so the AND gates of
+// one level are independent of each other.
+func buildSchedule(c *Circuit) *schedule {
+	s := &schedule{
+		tweak: make([]uint64, len(c.Gates)),
+		table: make([]int32, len(c.Gates)),
+	}
+	wireLvl := make([]int32, c.NumWires) // inputs and Const0 sit at level 0
+	gateLvl := make([]int32, len(c.Gates))
+	var tw uint64
+	var tb int32
+	maxLvl := int32(0)
+	for gi, g := range c.Gates {
+		var l int32
+		switch g.Kind {
+		case GateXOR:
+			l = wireLvl[g.A]
+			if wireLvl[g.B] > l {
+				l = wireLvl[g.B]
+			}
+		case GateNOT, GateXORG:
+			l = wireLvl[g.A]
+		case GateAND:
+			l = wireLvl[g.A]
+			if wireLvl[g.B] > l {
+				l = wireLvl[g.B]
+			}
+			l++
+			s.tweak[gi] = tw
+			s.table[gi] = tb
+			tw += 2
+			tb += 2
+		case GateANDG:
+			l = wireLvl[g.A] + 1
+			s.tweak[gi] = tw
+			s.table[gi] = tb
+			tw++
+			tb++
+		}
+		wireLvl[g.Out] = l
+		gateLvl[gi] = l
+		if l > maxLvl {
+			maxLvl = l
+		}
+	}
+
+	// Bucket gates by level, preserving gate order inside each bucket.
+	// Free gates at level X depend only on AND outputs of levels <= X, so
+	// they run in the serial pass before the AND batch of level X+1; the
+	// free gates of the top level form a trailing layer of their own.
+	freeAt := make([][]int32, maxLvl+1)
+	andAt := make([][]int32, maxLvl+1)
+	for gi, g := range c.Gates {
+		if isAndKind(g.Kind) {
+			andAt[gateLvl[gi]] = append(andAt[gateLvl[gi]], int32(gi))
+		} else {
+			freeAt[gateLvl[gi]] = append(freeAt[gateLvl[gi]], int32(gi))
+		}
+	}
+	for l := int32(1); l <= maxLvl; l++ {
+		s.layers = append(s.layers, layer{free: freeAt[l-1], and: andAt[l]})
+	}
+	if len(freeAt[maxLvl]) > 0 {
+		s.layers = append(s.layers, layer{free: freeAt[maxLvl]})
+	}
+	return s
+}
+
+// scheduleOf returns the circuit's cached schedule, computing it on
+// first use.
+func (c *Circuit) scheduleOf() *schedule {
+	c.schedOnce.Do(func() { c.sched = buildSchedule(c) })
+	return c.sched
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"secyan/internal/bitutil"
+	"secyan/internal/parallel"
 	"secyan/internal/prf"
 	"secyan/internal/transport"
 )
@@ -107,17 +108,21 @@ func (r *Receiver) Receive(choices []bool, msgLen int) ([][]byte, error) {
 
 	// T matrix: column i (stored as row i of a κ×mPad matrix) is the
 	// PRG stream of seed k_i^0; u_i = t_i ⊕ PRG(k_i^1) ⊕ r.
+	//
+	// Each column owns its two PRG streams and a disjoint slice of uMsg,
+	// so the column expansion parallelizes with byte-identical output.
 	tm := bitutil.NewMatrix(kappa, mPad)
-	uMsg := make([]byte, 0, kappa*rowBytes)
-	tmp := make([]byte, rowBytes)
-	for i := 0; i < kappa; i++ {
-		t := r.streams0[i].Bytes(rowBytes)
-		tm.SetRowBytes(i, t)
-		p1 := r.streams1[i].Bytes(rowBytes)
-		prf.XORBytes(tmp, t, p1)
-		prf.XORBytes(tmp, tmp, rBytes)
-		uMsg = append(uMsg, tmp...)
-	}
+	uMsg := make([]byte, kappa*rowBytes)
+	parallel.For(kappa, 8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			t := r.streams0[i].Bytes(rowBytes)
+			tm.SetRowBytes(i, t)
+			p1 := r.streams1[i].Bytes(rowBytes)
+			u := uMsg[i*rowBytes : (i+1)*rowBytes]
+			prf.XORBytes(u, t, p1)
+			prf.XORBytes(u, u, rBytes)
+		}
+	})
 	if err := r.conn.Send(uMsg); err != nil {
 		return nil, err
 	}
@@ -132,17 +137,21 @@ func (r *Receiver) Receive(choices []bool, msgLen int) ([][]byte, error) {
 	if len(ct) != 2*m*msgLen {
 		return nil, fmt.Errorf("ot: extension ciphertexts: got %d bytes, want %d", len(ct), 2*m*msgLen)
 	}
+	// OT instances are independent: instance j reads row j of Tᵀ and its
+	// own ciphertext slice and writes only out[j].
 	out := make([][]byte, m)
-	for j := 0; j < m; j++ {
-		p := pad(r.idx+uint64(j), tt.RowBytes(j), msgLen)
-		c := ct[2*j*msgLen : (2*j+1)*msgLen]
-		if choices[j] {
-			c = ct[(2*j+1)*msgLen : (2*j+2)*msgLen]
+	parallel.For(m, 32, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			p := pad(r.idx+uint64(j), tt.RowBytes(j), msgLen)
+			c := ct[2*j*msgLen : (2*j+1)*msgLen]
+			if choices[j] {
+				c = ct[(2*j+1)*msgLen : (2*j+2)*msgLen]
+			}
+			msg := make([]byte, msgLen)
+			prf.XORBytes(msg, c, p)
+			out[j] = msg
 		}
-		msg := make([]byte, msgLen)
-		prf.XORBytes(msg, c, p)
-		out[j] = msg
-	}
+	})
 	r.idx += uint64(mPad)
 	return out, nil
 }
@@ -170,32 +179,37 @@ func (s *Sender) Send(pairs [][2][]byte) error {
 	if len(uMsg) != kappa*rowBytes {
 		return fmt.Errorf("ot: extension matrix: got %d bytes, want %d", len(uMsg), kappa*rowBytes)
 	}
+	// Column expansion parallelizes as on the receiver side: column i owns
+	// stream i and writes only row i of the Q matrix.
 	qm := bitutil.NewMatrix(kappa, mPad)
-	tmp := make([]byte, rowBytes)
-	for i := 0; i < kappa; i++ {
-		q := s.streams[i].Bytes(rowBytes)
-		if s.s.Get(i) {
-			prf.XORBytes(tmp, q, uMsg[i*rowBytes:(i+1)*rowBytes])
-			qm.SetRowBytes(i, tmp)
-		} else {
-			qm.SetRowBytes(i, q)
+	parallel.For(kappa, 8, func(lo, hi int) {
+		tmp := make([]byte, rowBytes)
+		for i := lo; i < hi; i++ {
+			q := s.streams[i].Bytes(rowBytes)
+			if s.s.Get(i) {
+				prf.XORBytes(tmp, q, uMsg[i*rowBytes:(i+1)*rowBytes])
+				qm.SetRowBytes(i, tmp)
+			} else {
+				qm.SetRowBytes(i, q)
+			}
 		}
-	}
+	})
 	qt := qm.Transpose()
 
-	ct := make([]byte, 0, 2*m*msgLen)
-	qxs := make([]byte, kappa/8)
-	c := make([]byte, msgLen)
-	for j := 0; j < m; j++ {
-		row := qt.RowBytes(j)
-		p0 := pad(s.idx+uint64(j), row, msgLen)
-		prf.XORBytes(qxs, row, s.sRow[:])
-		p1 := pad(s.idx+uint64(j), qxs, msgLen)
-		prf.XORBytes(c, pairs[j][0], p0)
-		ct = append(ct, c...)
-		prf.XORBytes(c, pairs[j][1], p1)
-		ct = append(ct, c...)
-	}
+	// Instance j derives both pads from row j alone and writes the
+	// disjoint ciphertext slice ct[2j·msgLen : (2j+2)·msgLen].
+	ct := make([]byte, 2*m*msgLen)
+	parallel.For(m, 32, func(lo, hi int) {
+		qxs := make([]byte, kappa/8)
+		for j := lo; j < hi; j++ {
+			row := qt.RowBytes(j)
+			p0 := pad(s.idx+uint64(j), row, msgLen)
+			prf.XORBytes(qxs, row, s.sRow[:])
+			p1 := pad(s.idx+uint64(j), qxs, msgLen)
+			prf.XORBytes(ct[2*j*msgLen:(2*j+1)*msgLen], pairs[j][0], p0)
+			prf.XORBytes(ct[(2*j+1)*msgLen:(2*j+2)*msgLen], pairs[j][1], p1)
+		}
+	})
 	s.idx += uint64(mPad)
 	return s.conn.Send(ct)
 }

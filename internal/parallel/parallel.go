@@ -1,0 +1,117 @@
+// Package parallel provides the bounded worker pool behind every
+// CPU-heavy crypto kernel in this repository: IKNP column expansion and
+// per-OT padding, half-gates garbling and evaluation, and the bit-matrix
+// transpose.
+//
+// The design constraint is transcript determinism: a protocol run must
+// produce byte-for-byte identical wire messages at any worker count, so
+// that parallelism never changes the measured communication numbers or
+// the reproducibility of results. For guarantees this by construction —
+// chunk boundaries depend only on (n, grain), never on worker count or
+// scheduling, and kernels written against it assign each index a
+// disjoint output region. Worker count only decides how many goroutines
+// drain the chunk queue.
+//
+// The worker count defaults to runtime.GOMAXPROCS(0). It can be pinned
+// process-wide with SetWorkers (used by the equivalence tests and the
+// reproducible-benchmark runs documented in DESIGN.md) or via the
+// SECYAN_WORKERS environment variable.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// override holds a pinned worker count; 0 means "use GOMAXPROCS".
+var override atomic.Int32
+
+func init() {
+	if s := os.Getenv("SECYAN_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			override.Store(int32(n))
+		}
+	}
+}
+
+// Workers reports the worker count For will use: the pinned value if one
+// is set, otherwise runtime.GOMAXPROCS(0).
+func Workers() int {
+	if n := override.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers pins the process-wide worker count. n <= 0 removes the pin,
+// restoring the GOMAXPROCS default. It returns the previous pin (0 if
+// none) so tests can restore it.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(override.Swap(int32(n)))
+}
+
+// For executes fn over the index range [0, n), partitioned into
+// contiguous chunks of at least grain indices. Chunk boundaries are a
+// pure function of (n, grain, Workers()); fn(lo, hi) covers [lo, hi) and
+// the union of all calls covers [0, n) exactly once. For returns when
+// every chunk has completed.
+//
+// fn must be safe to call concurrently from multiple goroutines and must
+// write only to state owned by its index range. With one worker (or when
+// the range fits a single chunk) fn runs on the calling goroutine with
+// no synchronization overhead.
+func For(n, grain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	workers := Workers()
+	if workers == 1 || n <= grain {
+		fn(0, n)
+		return
+	}
+	// Aim for a few chunks per worker for load balance, but never chunks
+	// smaller than grain (kernel work below grain is cheaper serial than
+	// the handoff).
+	size := (n + 4*workers - 1) / (4 * workers)
+	if size < grain {
+		size = grain
+	}
+	chunks := (n + size - 1) / size
+	if chunks == 1 {
+		fn(0, n)
+		return
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1) - 1)
+				if c >= chunks {
+					return
+				}
+				lo := c * size
+				hi := lo + size
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

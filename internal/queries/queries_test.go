@@ -20,6 +20,9 @@ func testDB(t *testing.T) *tpch.DB {
 
 func runSpec(t *testing.T, spec Spec, db *tpch.DB) (*relation.Relation, *relation.Relation) {
 	t.Helper()
+	if testing.Short() {
+		t.Skipf("%s: full secure TPC-H run skipped in -short mode", spec.Name)
+	}
 	ring := share.Ring{Bits: 32}
 	alice, bob := mpc.Pair(ring)
 	defer alice.Conn.Close()

@@ -1,0 +1,46 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzRecvFraming feeds arbitrary bytes to the length-prefix decoder. A
+// corrupt or hostile prefix must produce an error, never a panic and
+// never an up-front allocation proportional to the claimed length (the
+// decoder grows its buffer only as payload bytes actually arrive, capped
+// at frameChunk ahead of the data).
+func FuzzRecvFraming(f *testing.F) {
+	good := make([]byte, 4+5)
+	binary.LittleEndian.PutUint32(good, 5)
+	copy(good[4:], "hello")
+	f.Add(good)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})             // claims ~4 GiB, no data
+	f.Add([]byte{0x00, 0x00, 0x00, 0x80, 0x01})       // claims 2 GiB, 1 byte
+	f.Add([]byte{0x01, 0x00})                         // truncated header
+	f.Add([]byte{})                                   // empty stream
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0xaa, 0xbb}) // zero-length frame + trailing
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		// On success the decode must agree with the prefix and the stream
+		// must have carried the full payload.
+		if len(data) < 4 {
+			t.Fatalf("decoded a frame from %d bytes", len(data))
+		}
+		n := binary.LittleEndian.Uint32(data)
+		if int64(n) > MaxMessageSize {
+			t.Fatalf("accepted frame of claimed size %d > MaxMessageSize", n)
+		}
+		if uint32(len(msg)) != n {
+			t.Fatalf("frame has %d bytes, prefix claimed %d", len(msg), n)
+		}
+		if !bytes.Equal(msg, data[4:4+int(n)]) {
+			t.Fatal("frame bytes differ from stream payload")
+		}
+	})
+}

@@ -21,8 +21,11 @@ import (
 var ErrClosed = errors.New("transport: connection closed")
 
 // MaxMessageSize bounds a single message. It exists to catch corrupted
-// length prefixes on the wire before attempting a huge allocation.
-const MaxMessageSize = 1 << 32
+// length prefixes on the wire before attempting a huge allocation. It is
+// a typed int64 (and fits in 31 bits) so that comparisons against
+// int64(len(...)) are exact on 32-bit platforms, where an untyped 1<<32
+// constant would not even compile as an int.
+const MaxMessageSize int64 = 1<<31 - 1
 
 // Stats records the traffic observed by one endpoint of a connection.
 type Stats struct {
