@@ -33,8 +33,10 @@ bench:
 vet:
 	$(GO) vet ./...
 
-# Short fuzz bursts for the transpose involution and the TCP framing
-# decoder; extend -fuzztime locally for real fuzzing sessions.
+# Short fuzz bursts for the transpose involution, the TCP framing
+# decoder and the SQL front end (seeded with the TPC-H query strings);
+# extend -fuzztime locally for real fuzzing sessions.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTranspose -fuzztime 10s ./internal/bitutil
 	$(GO) test -run '^$$' -fuzz FuzzRecvFraming -fuzztime 10s ./internal/transport
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/sqlfront

@@ -36,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "data generation seed")
 	ell := flag.Int("ell", 32, "annotation bit width (paper: 32)")
 	workers := flag.Int("workers", 0, "crypto-kernel worker count, 0 for GOMAXPROCS; pin to 1 for strictly serial reference runs")
+	phases := flag.Bool("phases", false, "after each figure, print the per-phase communication/round/time breakdown of the measured secure runs")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -65,9 +66,14 @@ func main() {
 			continue
 		}
 		ran = true
-		if _, err := benchmark.RunFigure(spec, opt, os.Stdout); err != nil {
+		points, err := benchmark.RunFigure(spec, opt, os.Stdout)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "secyan-bench: %s: %v\n", spec.Name, err)
 			os.Exit(1)
+		}
+		if *phases {
+			fmt.Println()
+			benchmark.PrintPhases(os.Stdout, points)
 		}
 	}
 	if !ran {

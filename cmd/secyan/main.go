@@ -40,6 +40,7 @@ func main() {
 	q9nations := flag.Int("q9nations", 2, "nations in the Q9 decomposition (paper: 25)")
 	maxRows := flag.Int("maxrows", 20, "result rows to print")
 	explain := flag.Bool("explain", false, "print the execution plan and cost estimate instead of running")
+	analyze := flag.Bool("analyze", false, "run the query and print the per-step trace (plan columns plus measured bytes, rounds, wall time)")
 	flag.Parse()
 
 	var spec queries.Spec
@@ -72,10 +73,10 @@ func main() {
 	}
 
 	if *role == "" {
-		runInProcess(spec, db, ring, *maxRows)
+		runInProcess(spec, db, ring, *maxRows, *analyze)
 		return
 	}
-	runDistributed(spec, db, ring, *role, *listen, *connect, *maxRows)
+	runDistributed(spec, db, ring, *role, *listen, *connect, *maxRows, *analyze)
 }
 
 // printExplain renders the plan of the query's (first) secure execution.
@@ -95,10 +96,14 @@ func printExplain(spec queries.Spec, db *tpch.DB, ring share.Ring) error {
 	return nil
 }
 
-func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int) {
+func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int, analyze bool) {
 	alice, bob := mpc.Pair(ring)
 	defer alice.Conn.Close()
 	defer bob.Conn.Close()
+	var trace core.Trace
+	if analyze {
+		alice.Observer = func(s core.TraceStep) { trace.Steps = append(trace.Steps, s) }
+	}
 	start := time.Now()
 	res, _, err := mpc.Run2PC(alice, bob,
 		func(p *mpc.Party) (*relation.Relation, error) { return spec.Secure(p, db) },
@@ -109,6 +114,10 @@ func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int) 
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
+	if analyze {
+		fmt.Println()
+		trace.Format(os.Stdout)
+	}
 	printResult(res, maxRows)
 	st := alice.Conn.Stats()
 	fmt.Printf("\nsecure run: %.2fs, %.2f MB exchanged, %d messages, %d rounds\n",
@@ -120,7 +129,7 @@ func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int) 
 	}
 }
 
-func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, listen, connect string, maxRows int) {
+func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, listen, connect string, maxRows int, analyze bool) {
 	var conn transport.Conn
 	var err error
 	var r mpc.Role
@@ -151,6 +160,10 @@ func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, liste
 	defer conn.Close()
 
 	p := mpc.NewParty(r, conn, ring)
+	var trace core.Trace
+	if analyze {
+		p.Observer = func(s core.TraceStep) { trace.Steps = append(trace.Steps, s) }
+	}
 	start := time.Now()
 	res, err := spec.Secure(p, db)
 	if err != nil {
@@ -158,6 +171,9 @@ func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, liste
 		os.Exit(1)
 	}
 	elapsed := time.Since(start)
+	if analyze {
+		trace.Format(os.Stdout)
+	}
 	if r == mpc.Alice {
 		printResult(res, maxRows)
 	} else {

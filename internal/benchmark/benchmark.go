@@ -49,6 +49,18 @@ type Point struct {
 	Bytes          float64
 	Extrapolated   bool
 	OutputRows     int
+	// Phases breaks the measured secure run down by protocol phase, in
+	// execution order; nil for extrapolated points and other methods.
+	Phases []PhaseCost
+}
+
+// PhaseCost aggregates the per-step trace of a secure run over one
+// protocol phase (setup, input, reduce, semijoin, join, ...).
+type PhaseCost struct {
+	Phase   string
+	Bytes   int64
+	Rounds  int64
+	Seconds float64
 }
 
 // Options configures a figure run.
@@ -183,6 +195,16 @@ func runSecure(spec queries.Spec, db *tpch.DB, ring share.Ring) (Point, error) {
 	alice, bob := mpc.Pair(ring)
 	defer alice.Conn.Close()
 	defer bob.Conn.Close()
+	var phases []PhaseCost
+	alice.Observer = func(s mpc.StepTrace) {
+		if n := len(phases); n == 0 || phases[n-1].Phase != s.Phase {
+			phases = append(phases, PhaseCost{Phase: s.Phase})
+		}
+		pc := &phases[len(phases)-1]
+		pc.Bytes += s.Bytes
+		pc.Rounds += s.Rounds
+		pc.Seconds += s.Elapsed.Seconds()
+	}
 	start := time.Now()
 	res, _, err := mpc.Run2PC(alice, bob,
 		func(p *mpc.Party) (*relation.Relation, error) { return spec.Secure(p, db) },
@@ -197,7 +219,23 @@ func runSecure(spec queries.Spec, db *tpch.DB, ring share.Ring) (Point, error) {
 		Seconds:    time.Since(start).Seconds(),
 		Bytes:      float64(st.TotalBytes()),
 		OutputRows: res.Len(),
+		Phases:     phases,
 	}, nil
+}
+
+// PrintPhases renders the per-phase breakdown of each measured secure
+// point — where a query's communication and time actually go.
+func PrintPhases(w io.Writer, points []Point) {
+	for _, p := range points {
+		if p.Method != MethodSecure || len(p.Phases) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s at %gMB, secure run by phase:\n", p.Query, p.ScaleMB)
+		for _, pc := range p.Phases {
+			fmt.Fprintf(w, "  %-10s %12s %6d rounds %10.3fs\n",
+				pc.Phase, humanBytes(float64(pc.Bytes)), pc.Rounds, pc.Seconds)
+		}
+	}
 }
 
 // PrintFigure renders the two panels of a paper figure as text tables.

@@ -8,10 +8,10 @@ import (
 	"secyan/internal/relation"
 )
 
-// This file implements the full secure Yannakakis driver of paper §6.4:
-// Reduce → Semijoin → Full Join over a free-connex join tree, with the
-// single-node shortcut the paper uses for Q3 (§8.1: when the reduce phase
-// leaves one node, its nonzero tuples are revealed directly).
+// Query description for the full secure Yannakakis protocol of paper
+// §6.4: Reduce → Semijoin → Full Join over a free-connex join tree, with
+// the single-node shortcut the paper uses for Q3 (§8.1). The control
+// flow lives in the plan compiler (plan.go); execution in exec.go.
 
 // Input describes one base relation of a query. The owner supplies Rel
 // (tuples plus plaintext annotations); the other party supplies only the
@@ -62,201 +62,6 @@ func (q *Query) Validate(role mpc.Role) error {
 		}
 	}
 	return nil
-}
-
-// Run executes the secure Yannakakis protocol for q. Alice receives the
-// query results (rows over the output attributes with their aggregated
-// annotations, dummy and zero-annotated rows removed); Bob receives nil.
-// Both parties must call Run with structurally identical queries (same
-// schemas, owners, sizes, output), differing only in which relations they
-// hold.
-func Run(p *mpc.Party, q *Query) (*relation.Relation, error) {
-	res, err := RunShared(p, q)
-	if err != nil {
-		return nil, err
-	}
-	return res.Reveal(p, q.Output)
-}
-
-// RunShared executes the protocol but stops before revealing the result
-// annotations, returning them in shared form — the building block of the
-// query compositions of §7 (avg, ratios, differences; see compose.go).
-func RunShared(p *mpc.Party, q *Query) (*SharedResult, error) {
-	if err := q.Validate(p.Role); err != nil {
-		return nil, err
-	}
-	tree, err := q.Hypergraph().Plan(q.Output)
-	if err != nil {
-		return nil, err
-	}
-	// Protocol-internal dummies must not collide with dummies already in
-	// this party's inputs (e.g. private-selection padding).
-	ownRels := make([]*relation.Relation, 0, len(q.Inputs))
-	for _, in := range q.Inputs {
-		if in.Owner == p.Role {
-			ownRels = append(ownRels, in.Rel)
-		}
-	}
-	dg := relation.NewDummyGenAfter(ownRels...)
-
-	// Wrap the inputs. With the §6.5 optimization (default), annotations
-	// stay plaintext at their owner until the first cross-party operator;
-	// otherwise they are secret-shared up front.
-	srs := make([]*SharedRelation, len(q.Inputs))
-	for i, in := range q.Inputs {
-		var sr *SharedRelation
-		var err error
-		if q.NoLocalOptimizations {
-			sr, err = ShareInput(p, in.Owner, in.Rel, in.Schema, in.N)
-		} else {
-			sr, err = NewPlainInput(p, in.Owner, in.Rel, in.Schema, in.N)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("core: sharing input %s: %w", in.Name, err)
-		}
-		srs[i] = sr
-	}
-	outSet := map[relation.Attr]bool{}
-	for _, a := range q.Output {
-		outSet[a] = true
-	}
-
-	// Phase 1: Reduce (§6.4 step 1).
-	removed := make([]bool, len(srs))
-	aggregated := make([]bool, len(srs))
-	childrenLeft := make([]int, len(srs))
-	for i, cs := range tree.Children {
-		childrenLeft[i] = len(cs)
-	}
-	for _, i := range tree.PostOrder {
-		if i == tree.Root || childrenLeft[i] > 0 {
-			continue
-		}
-		parent := tree.Parent[i]
-		var fPrime []relation.Attr
-		for _, a := range srs[i].Schema.Attrs {
-			if outSet[a] || srs[parent].Schema.Has(a) {
-				fPrime = append(fPrime, a)
-			}
-		}
-		subset := true
-		for _, a := range fPrime {
-			if !srs[parent].Schema.Has(a) {
-				subset = false
-				break
-			}
-		}
-		agg, err := Aggregate(p, dg, srs[i], fPrime)
-		if err != nil {
-			return nil, fmt.Errorf("core: reduce aggregate of %s: %w", q.Inputs[i].Name, err)
-		}
-		if subset {
-			joined, err := SemijoinInto(p, dg, srs[parent], agg)
-			if err != nil {
-				return nil, fmt.Errorf("core: reduce join into %s: %w", q.Inputs[parent].Name, err)
-			}
-			srs[parent] = joined
-			removed[i] = true
-			childrenLeft[parent]--
-		} else {
-			srs[i] = agg
-			aggregated[i] = true
-		}
-	}
-
-	var remaining []int
-	for _, i := range tree.PostOrder {
-		if !removed[i] {
-			remaining = append(remaining, i)
-		}
-	}
-
-	// Soundness guards (the planner only emits trees satisfying these,
-	// but they are cheap and protect against planner regressions): every
-	// surviving non-root node must be output-only, and any non-output
-	// attribute the root is about to fold away must not join with another
-	// survivor.
-	for _, i := range remaining {
-		if i == tree.Root {
-			continue
-		}
-		for _, a := range srs[i].Schema.Attrs {
-			if !outSet[a] {
-				return nil, fmt.Errorf("core: internal error: surviving node %s kept non-output attribute %q", q.Inputs[i].Name, a)
-			}
-		}
-	}
-	for _, a := range srs[tree.Root].Schema.Attrs {
-		if outSet[a] {
-			continue
-		}
-		for _, i := range remaining {
-			if i != tree.Root && srs[i].Schema.Has(a) {
-				return nil, fmt.Errorf("core: internal error: root folds attribute %q still joined by %s", a, q.Inputs[i].Name)
-			}
-		}
-	}
-
-	// Every surviving node that did not go through a reduce-phase
-	// aggregation gets one now: it folds away non-output attributes of
-	// the root and — equally important — collapses duplicate rows, which
-	// projected inputs may contain, so the surviving relations are
-	// genuine annotated sets.
-	for _, i := range remaining {
-		if aggregated[i] {
-			continue
-		}
-		var keep []relation.Attr
-		for _, a := range srs[i].Schema.Attrs {
-			if outSet[a] {
-				keep = append(keep, a)
-			}
-		}
-		agg, err := Aggregate(p, dg, srs[i], keep)
-		if err != nil {
-			return nil, fmt.Errorf("core: aggregation of surviving node %s: %w", q.Inputs[i].Name, err)
-		}
-		srs[i] = agg
-	}
-
-	// Single-survivor shortcut (paper §8.1, Query 3): the surviving
-	// relation is the (shared) result.
-	if len(remaining) == 1 {
-		return &SharedResult{Single: srs[remaining[0]]}, nil
-	}
-
-	// Phase 2: Semijoin (§6.4 step 2) — mark dangling tuples as dummies
-	// (zero-annotated) with a bottom-up and a top-down pass.
-	for _, i := range remaining {
-		if i == tree.Root {
-			continue
-		}
-		parent := tree.Parent[i]
-		sj, err := Semijoin(p, dg, srs[parent], srs[i])
-		if err != nil {
-			return nil, fmt.Errorf("core: bottom-up semijoin into %s: %w", q.Inputs[parent].Name, err)
-		}
-		srs[parent] = sj
-	}
-	for idx := len(remaining) - 1; idx >= 0; idx-- {
-		i := remaining[idx]
-		if i == tree.Root {
-			continue
-		}
-		parent := tree.Parent[i]
-		sj, err := Semijoin(p, dg, srs[i], srs[parent])
-		if err != nil {
-			return nil, fmt.Errorf("core: top-down semijoin into %s: %w", q.Inputs[i].Name, err)
-		}
-		srs[i] = sj
-	}
-
-	// Phase 3: Full join (§6.4 step 3).
-	jr, err := ObliviousJoin(p, tree, srs, remaining)
-	if err != nil {
-		return nil, err
-	}
-	return &SharedResult{Join: jr}, nil
 }
 
 // normalizeResult reorders columns to the requested output order and

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"secyan/internal/gc"
+	"secyan/internal/mpc"
+	"secyan/internal/oep"
+	"secyan/internal/relation"
+	"secyan/internal/yannakakis"
+)
+
+// This file is the plan executor: Run and RunShared compile the query
+// into the same Plan that Explain renders (plan.go) and walk its steps
+// in order. Every step runs under the caller's context — cancellation
+// unblocks in-flight transport operations via transport.WithContext —
+// and is measured individually (bytes, messages, rounds, wall time)
+// through transport.Stats snapshots, producing a Trace and feeding
+// Party.Observer. Errors are labeled with the step's phase/op/node.
+
+// Run executes the secure Yannakakis protocol for q. Alice receives the
+// query results (rows over the output attributes with their aggregated
+// annotations, dummy and zero-annotated rows removed); Bob receives nil.
+// Both parties must call Run with structurally identical queries (same
+// schemas, owners, sizes, output), differing only in which relations they
+// hold.
+func Run(p *mpc.Party, q *Query) (*relation.Relation, error) {
+	rel, _, err := RunContext(context.Background(), p, q)
+	return rel, err
+}
+
+// RunContext is Run with cancellation and per-step observability: it
+// additionally returns the execution trace (one TraceStep per plan
+// step, in plan order), which is valid — as a prefix — even on error.
+func RunContext(ctx context.Context, p *mpc.Party, q *Query) (*relation.Relation, *Trace, error) {
+	_, rel, tr, err := runPlan(ctx, p, q, false)
+	return rel, tr, err
+}
+
+// RunShared executes the protocol but stops before revealing the result
+// annotations, returning them in shared form — the building block of the
+// query compositions of §7 (avg, ratios, differences; see compose.go).
+func RunShared(p *mpc.Party, q *Query) (*SharedResult, error) {
+	res, _, err := RunSharedContext(context.Background(), p, q)
+	return res, err
+}
+
+// RunSharedContext is RunShared with cancellation and tracing.
+func RunSharedContext(ctx context.Context, p *mpc.Party, q *Query) (*SharedResult, *Trace, error) {
+	res, _, tr, err := runPlan(ctx, p, q, true)
+	return res, tr, err
+}
+
+// runPlan compiles q and executes the plan step by step. When shared is
+// true the final reveal steps are skipped and the shared result
+// returned; otherwise the result relation is revealed to Alice.
+func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool) (*SharedResult, *relation.Relation, *Trace, error) {
+	if err := q.Validate(p.Role); err != nil {
+		return nil, nil, nil, err
+	}
+	// Run compiles with estOut=0: the step sequence is estOut-independent
+	// and the true output size is only known at run time.
+	plan, err := compileQuery(q, p.Ring.Bits, 0)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pp, release := p.WithContext(ctx)
+	defer release()
+
+	// Protocol-internal dummies must not collide with dummies already in
+	// this party's inputs (e.g. private-selection padding).
+	ownRels := make([]*relation.Relation, 0, len(q.Inputs))
+	for _, in := range q.Inputs {
+		if in.Owner == p.Role {
+			ownRels = append(ownRels, in.Rel)
+		}
+	}
+	ex := &executor{p: pp, q: q, plan: plan, dg: relation.NewDummyGenAfter(ownRels...),
+		srs: make([]*SharedRelation, len(q.Inputs)), revealed: map[int]*relation.Relation{}}
+
+	tr := &Trace{}
+	for si := range plan.Steps {
+		st := &plan.Steps[si]
+		if shared && st.final {
+			continue
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, nil, tr, stepErr(st, cerr)
+		}
+		before := pp.Conn.Stats()
+		start := time.Now()
+		err := ex.exec(st)
+		after := pp.Conn.Stats()
+		rec := TraceStep{Phase: st.Phase, Op: st.Op, Node: st.Node, N: st.N, EstBytes: st.EstBytes,
+			Bytes:    after.TotalBytes() - before.TotalBytes(),
+			Messages: (after.MessagesSent + after.MessagesRecv) - (before.MessagesSent + before.MessagesRecv),
+			Rounds:   after.Rounds - before.Rounds,
+			Elapsed:  time.Since(start)}
+		if st.kind == stepLocalJoin || st.kind == stepAlignAnnotations ||
+			st.kind == stepAnnotationProduct || st.kind == stepRevealAnnotations {
+			rec.N = ex.out // the true output size, known after the local join
+		}
+		tr.Steps = append(tr.Steps, rec)
+		if pp.Observer != nil {
+			pp.Observer(rec)
+		}
+		if err != nil {
+			// After cancellation the transport reports artifacts of the
+			// teardown; attribute them to the context instead.
+			if cerr := ctx.Err(); cerr != nil {
+				err = cerr
+			}
+			return nil, nil, tr, stepErr(st, err)
+		}
+	}
+
+	if shared {
+		if plan.singleNode >= 0 {
+			return &SharedResult{Single: ex.srs[plan.singleNode]}, nil, tr, nil
+		}
+		return &SharedResult{Join: ex.jr}, nil, tr, nil
+	}
+	if p.Role != mpc.Alice {
+		return nil, nil, tr, nil
+	}
+	rel, err := normalizeResult(ex.result, q.Output)
+	if err != nil {
+		return nil, nil, tr, err
+	}
+	return nil, rel, tr, nil
+}
+
+// stepErr labels an operator error with its plan coordinates, e.g.
+// "reduce/psi-payload[lineitem→orders]: ...".
+func stepErr(st *PlanStep, err error) error {
+	return fmt.Errorf("%s/%s[%s]: %w", st.Phase, st.Op, st.Node, err)
+}
+
+// executor is the mutable state of one plan execution on one party.
+type executor struct {
+	p    *mpc.Party
+	q    *Query
+	plan *Plan
+	dg   *relation.DummyGen
+
+	srs      []*SharedRelation          // per tree node, updated in place
+	pending  *SharedRelation            // aggregate/π¹ result feeding the next semijoin-into
+	revealed map[int]*relation.Relation // join-phase revealed relations (Alice)
+	prov     *yannakakis.Provenance     // Alice only
+	out      int                        // true output size, set by local-join
+	factors  [][]uint64                 // aligned annotation shares, join order
+	jr       *JoinResult
+	result   *relation.Relation // Alice: revealed result rows before normalization
+}
+
+func (ex *executor) exec(st *PlanStep) error {
+	p := ex.p
+	switch st.kind {
+	case stepOTSetup:
+		// Both parties establish the direction eagerly and in plan order,
+		// so setup traffic lands on this step rather than inside whichever
+		// operator first needs it. A cache hit (composed queries reusing a
+		// party) costs nothing.
+		if p.Role == st.sender {
+			_, err := p.OTSender()
+			return err
+		}
+		_, err := p.OTReceiver()
+		return err
+	case stepShareInput, stepPlainInput:
+		in := ex.q.Inputs[st.node]
+		var sr *SharedRelation
+		var err error
+		if st.kind == stepShareInput {
+			sr, err = ShareInput(p, in.Owner, in.Rel, in.Schema, in.N)
+		} else {
+			sr, err = NewPlainInput(p, in.Owner, in.Rel, in.Schema, in.N)
+		}
+		if err != nil {
+			return err
+		}
+		ex.srs[st.node] = sr
+		return nil
+	case stepAggregate:
+		agg, err := Aggregate(p, ex.dg, ex.srs[st.node], st.attrs)
+		if err != nil {
+			return err
+		}
+		if st.intoPending {
+			ex.pending = agg
+		} else {
+			ex.srs[st.node] = agg
+		}
+		return nil
+	case stepProjectOne:
+		ind, err := ProjectOne(p, ex.dg, ex.srs[st.node], st.attrs)
+		if err != nil {
+			return err
+		}
+		ex.pending = ind
+		return nil
+	case stepSemijoinInto:
+		child := ex.pending
+		ex.pending = nil
+		joined, err := SemijoinInto(p, ex.dg, ex.srs[st.parent], child)
+		if err != nil {
+			return err
+		}
+		ex.srs[st.parent] = joined
+		return nil
+	case stepRevealRelation:
+		res, err := RevealRelation(p, ex.srs[st.node])
+		if err != nil {
+			return err
+		}
+		ex.result = res
+		return nil
+	case stepRevealRows:
+		r, err := revealNonzeroRows(p, ex.srs[st.node])
+		if err != nil {
+			return err
+		}
+		ex.revealed[st.node] = r
+		return nil
+	case stepLocalJoin:
+		return ex.localJoin()
+	case stepAlignAnnotations:
+		return ex.alignNode(st.node)
+	case stepAnnotationProduct:
+		return ex.annotationProduct()
+	case stepRevealAnnotations:
+		return ex.revealJoin()
+	}
+	return fmt.Errorf("core: unknown plan step kind %d", st.kind)
+}
+
+// localJoin is §6.3 step 2: Alice joins the revealed relations with the
+// plaintext Yannakakis engine, tracking provenance, and shares OUT.
+func (ex *executor) localJoin() error {
+	p := ex.p
+	if p.Role != mpc.Alice {
+		out, err := recvPublicSize(p.Conn)
+		if err != nil {
+			return err
+		}
+		ex.out = out
+		return nil
+	}
+	rels := make([]*relation.Relation, len(ex.srs))
+	for i, s := range ex.srs {
+		if r := ex.revealed[i]; r != nil {
+			rels[i] = r
+		} else {
+			rels[i] = relation.New(s.Schema)
+		}
+	}
+	prov, err := yannakakis.JoinProvenance(ex.plan.tree, rels, ex.plan.joinOrder)
+	if err != nil {
+		return err
+	}
+	ex.prov = prov
+	ex.out = prov.Result.Len()
+	return sendPublicSize(p.Conn, ex.out)
+}
+
+// alignNode is §6.3 step 3a for one relation: an OEP programmed by
+// Alice's provenance re-aligns its annotation shares to the join rows.
+// With an empty join it is a recorded no-op on both sides.
+func (ex *executor) alignNode(node int) error {
+	if ex.out == 0 {
+		return nil
+	}
+	p := ex.p
+	s := ex.srs[node]
+	var f []uint64
+	var err error
+	if p.Role == mpc.Alice {
+		xi := make([]int, ex.out)
+		for row := 0; row < ex.out; row++ {
+			src := ex.prov.Sources[row][node]
+			if src < 0 {
+				return fmt.Errorf("core: missing provenance for node %d", node)
+			}
+			xi[row] = src
+		}
+		f, err = oep.RunProgrammer(p, xi, s.N, s.Annot)
+	} else {
+		f, err = oep.RunHelper(p, s.N, ex.out, s.Annot)
+	}
+	if err != nil {
+		return err
+	}
+	ex.factors = append(ex.factors, f)
+	return nil
+}
+
+// annotationProduct is §6.3 step 3b: one garbled circuit multiplies the
+// aligned factors per join row, yielding shared result annotations, and
+// assembles the JoinResult (rows on Alice's side).
+func (ex *executor) annotationProduct() error {
+	p := ex.p
+	schema := unionSchema(ex.srs, ex.plan.joinOrder)
+	out := ex.out
+	if out == 0 {
+		ex.jr = &JoinResult{N: 0, Schema: schema}
+		if p.Role == mpc.Alice {
+			ex.jr.Rows = relation.New(schema)
+		}
+		return nil
+	}
+	k := len(ex.plan.joinOrder)
+	ell := p.Ring.Bits
+	circ := buildProductCircuit(out, k, ell)
+	annot := make([]uint64, out)
+	if p.Role == mpc.Alice {
+		evalBits := make([]bool, 0, out*k*ell)
+		for row := 0; row < out; row++ {
+			for fi := 0; fi < k; fi++ {
+				evalBits = gc.AppendBits(evalBits, ex.factors[fi][row], ell)
+			}
+		}
+		bits, err := p.RunCircuit(circ, evalBits, nil, mpc.Bob)
+		if err != nil {
+			return err
+		}
+		for row := 0; row < out; row++ {
+			annot[row] = p.Ring.Mask(gc.UintOfBits(bits[row*ell : (row+1)*ell]))
+		}
+	} else {
+		priv := make([]bool, 0, out*(k+1)*ell)
+		for row := 0; row < out; row++ {
+			for fi := 0; fi < k; fi++ {
+				priv = gc.AppendBits(priv, ex.factors[fi][row], ell)
+			}
+		}
+		for row := 0; row < out; row++ {
+			r := p.Ring.Random(p.PRG)
+			annot[row] = r
+			priv = gc.AppendBits(priv, p.Ring.Neg(r), ell)
+		}
+		if _, err := p.RunCircuit(circ, nil, priv, mpc.Bob); err != nil {
+			return err
+		}
+	}
+	ex.jr = &JoinResult{N: out, Schema: schema, Annot: annot}
+	if p.Role == mpc.Alice {
+		// Reorder the provenance result columns to the union schema.
+		rows := relation.New(schema)
+		cols, err := ex.prov.Result.Schema.Positions(schema.Attrs)
+		if err != nil {
+			return err
+		}
+		for i := range ex.prov.Result.Tuples {
+			row := make([]uint64, len(cols))
+			for c, cc := range cols {
+				row[c] = ex.prov.Result.Tuples[i][cc]
+			}
+			rows.Append(row, 0)
+		}
+		ex.jr.Rows = rows
+	}
+	return nil
+}
+
+// revealJoin reveals the join annotations to Alice and filters the
+// result rows, mirroring SharedResult.Reveal for the join case.
+func (ex *executor) revealJoin() error {
+	p := ex.p
+	jr := ex.jr
+	if p.Role != mpc.Alice {
+		return p.RevealToPeer(jr.Annot)
+	}
+	vals, err := p.RecvReveal(jr.Annot)
+	if err != nil {
+		return err
+	}
+	res := relation.New(jr.Schema)
+	for i := range jr.Rows.Tuples {
+		if vals[i] != 0 {
+			res.Append(jr.Rows.Tuples[i], vals[i])
+		}
+	}
+	ex.result = res
+	return nil
+}

@@ -3,311 +3,13 @@ package core
 import (
 	"fmt"
 	"io"
-	"math/bits"
 	"strings"
-
-	"secyan/internal/gc"
-	"secyan/internal/psi"
-	"secyan/internal/relation"
 )
 
-// Explain produces the execution plan of a query without running it: the
-// join tree, the operator sequence of the three phases, and a
-// communication estimate per step. It uses only public parameters
-// (schemas, sizes, owners), so both parties compute identical plans —
-// indeed the estimates being data-independent is a restatement of the
-// protocol's obliviousness.
-//
-// Estimates are derived from the actual circuit builders evaluated at a
-// reduced size and scaled (every circuit here is linear in the tuple
-// count), plus closed-form switching-network counts; tests check them
-// against measured traffic.
-
-// PlanStep is one operator invocation in the plan.
-type PlanStep struct {
-	Phase string // input | reduce | aggregate | semijoin | join | reveal
-	Op    string
-	Node  string // relation involved (or "→parent" notation)
-	N     int    // primary size
-	// EstBytes estimates the step's total communication (both
-	// directions). Join-phase steps scale with the (unknown) output size
-	// and use EstOut.
-	EstBytes int64
-}
-
-// Plan is the result of Explain.
-type Plan struct {
-	Steps     []PlanStep
-	Root      string
-	Remaining []string
-	// EstBytes totals the step estimates.
-	EstBytes int64
-	// EstOut is the output-size assumption used for join-phase steps.
-	EstOut int
-}
-
-// gcMessageBytes estimates the one-shot cost of evaluating circuit c:
-// garbled tables, input labels, OT traffic for evaluator inputs, and
-// decode bits.
-func gcMessageBytes(c *gc.Circuit) int64 {
-	tables := int64(16 * c.TableBlocks())
-	garblerLabels := int64(16 * (len(c.GarblerInputs) + 1))
-	// Evaluator inputs ride the IKNP extension: 2×16-byte ciphertexts
-	// plus a 16-byte column contribution per OT.
-	otBytes := int64(48 * len(c.EvalInputs))
-	outBits := int64((len(c.EvalOutputs)+7)/8 + (len(c.GarblerOutputs)+7)/8)
-	return tables + garblerLabels + otBytes + outBits
-}
-
-// scaledMergeBytes estimates the merge-chain circuit for n tuples by
-// building a small instance and scaling linearly.
-func scaledMergeBytes(n, ell int, kind mergeKind) int64 {
-	if n == 0 {
-		return 0
-	}
-	probe := n
-	if probe > 64 {
-		probe = 64
-	}
-	b := gcMessageBytes(buildMergeCircuit(probe, ell, kind))
-	return b * int64(n) / int64(probe)
-}
-
-// oepBytes estimates the oblivious extended permutation from m inputs to
-// n outputs: one OT per switch, ~64 bytes per OT (two 16-byte messages,
-// 16 bytes of IKNP column, padding).
-func oepBytes(m, n int, bijection bool) int64 {
-	w := ceilPow2(maxInt(maxInt(m, n), 2))
-	lg := bits.Len(uint(w)) - 1
-	swaps := w*lg - w/2
-	gates := swaps
-	if !bijection {
-		gates = 2*swaps + (w - 1)
-	}
-	return int64(64 * gates)
-}
-
-func ceilPow2(n int) int {
-	p := 1
-	for p < n {
-		p <<= 1
-	}
-	return p
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-// psiIndexedBytes estimates the §5.5 (indexed) PSI between a receiver of
-// size m and sender of size n, including the clear-index circuit and the
-// two OEPs (one when plain).
-func psiIndexedBytes(m, n, ell int, plain bool) int64 {
-	pr := psi.NewParams(m, n)
-	// Per-bin circuit cost, probed at a few bins.
-	probeBins := pr.B
-	if probeBins > 8 {
-		probeBins = 8
-	}
-	probe := psi.Params{M: pr.M, N: pr.N, B: probeBins, L: pr.L}
-	cb := gcMessageBytes(psi.BuildClearIndexCircuitForEstimate(probe, ell)) * int64(pr.B) / int64(probeBins)
-	total := cb + oepBytes(pr.N+pr.B, m, false)
-	if !plain {
-		total += oepBytes(pr.N+pr.B, pr.N+pr.B, true)
-	}
-	return total
-}
-
-// mulBytes estimates the annotation-product circuit over n tuples.
-func mulBytes(n, ell int) int64 {
-	if n == 0 {
-		return 0
-	}
-	probe := n
-	if probe > 32 {
-		probe = 32
-	}
-	return gcMessageBytes(buildMulCircuit(probe, ell)) * int64(n) / int64(probe)
-}
-
-// Explain builds the plan for q with estOut as the assumed output size
-// (used only by the join-phase steps of multi-survivor queries).
-func Explain(q *Query, ringBits, estOut int) (*Plan, error) {
-	tree, err := q.Hypergraph().Plan(q.Output)
-	if err != nil {
-		return nil, err
-	}
-	ell := ringBits
-	plan := &Plan{Root: q.Inputs[tree.Root].Name, EstOut: estOut}
-	add := func(s PlanStep) {
-		plan.Steps = append(plan.Steps, s)
-		plan.EstBytes += s.EstBytes
-	}
-
-	outSet := map[relation.Attr]bool{}
-	for _, a := range q.Output {
-		outSet[a] = true
-	}
-	type nodeState struct {
-		schema relation.Schema
-		n      int
-		plain  bool
-		owner  string
-		role   int
-	}
-	state := make([]nodeState, len(q.Inputs))
-	for i, in := range q.Inputs {
-		state[i] = nodeState{schema: in.Schema, n: in.N, plain: !q.NoLocalOptimizations, owner: in.Name, role: int(in.Owner)}
-		cost := int64(0)
-		op := "plain-input"
-		if q.NoLocalOptimizations {
-			cost = int64(8 * in.N)
-			op = "share-annotations"
-		}
-		add(PlanStep{Phase: "input", Op: op, Node: in.Name, N: in.N, EstBytes: cost})
-	}
-
-	// Reduce phase, mirroring the driver's control flow on sizes only.
-	removed := make([]bool, len(state))
-	aggregatedFlag := make([]bool, len(state))
-	childrenLeft := make([]int, len(state))
-	for i, cs := range tree.Children {
-		childrenLeft[i] = len(cs)
-	}
-	aggCost := func(st nodeState) int64 {
-		if st.plain {
-			return 0 // §6.5 local aggregation
-		}
-		return oepBytes(st.n, st.n, true) + scaledMergeBytes(st.n, ell, mergeSum)
-	}
-	semijoinCost := func(parent, child nodeState) int64 {
-		cost := mulBytes(parent.n, ell)
-		switch {
-		case child.n == 0:
-		case len(child.schema.Attrs) == 0:
-			cost += oepBytes(child.n, parent.n, false)
-		case parent.role == child.role:
-			cost += oepBytes(child.n+1, parent.n, false)
-		default:
-			cost += psiIndexedBytes(parent.n, child.n, ell, child.plain)
-		}
-		return cost
-	}
-	for _, i := range tree.PostOrder {
-		if i == tree.Root || childrenLeft[i] > 0 {
-			continue
-		}
-		parent := tree.Parent[i]
-		var fPrime []relation.Attr
-		for _, a := range state[i].schema.Attrs {
-			if outSet[a] || state[parent].schema.Has(a) {
-				fPrime = append(fPrime, a)
-			}
-		}
-		subset := true
-		for _, a := range fPrime {
-			if !state[parent].schema.Has(a) {
-				subset = false
-				break
-			}
-		}
-		add(PlanStep{Phase: "reduce", Op: "aggregate", Node: q.Inputs[i].Name,
-			N: state[i].n, EstBytes: aggCost(state[i])})
-		state[i].schema = relation.MustSchema(fPrime...)
-		if subset {
-			add(PlanStep{Phase: "reduce", Op: "semijoin-into", Node: q.Inputs[i].Name + "→" + q.Inputs[parent].Name,
-				N: state[parent].n, EstBytes: semijoinCost(state[parent], state[i])})
-			state[parent].plain = false
-			removed[i] = true
-			childrenLeft[parent]--
-		} else {
-			aggregatedFlag[i] = true
-		}
-	}
-
-	var remaining []int
-	for _, i := range tree.PostOrder {
-		if !removed[i] {
-			remaining = append(remaining, i)
-			plan.Remaining = append(plan.Remaining, q.Inputs[i].Name)
-		}
-	}
-	for _, i := range remaining {
-		if aggregatedFlag[i] {
-			continue
-		}
-		var keep []relation.Attr
-		for _, a := range state[i].schema.Attrs {
-			if outSet[a] {
-				keep = append(keep, a)
-			}
-		}
-		add(PlanStep{Phase: "aggregate", Op: "aggregate", Node: q.Inputs[i].Name,
-			N: state[i].n, EstBytes: aggCost(state[i])})
-		state[i].schema = relation.MustSchema(keep...)
-	}
-
-	if len(remaining) == 1 {
-		r := remaining[0]
-		add(PlanStep{Phase: "reveal", Op: "reveal-relation", Node: q.Inputs[r].Name,
-			N: state[r].n, EstBytes: revealCost(state[r].n, len(state[r].schema.Attrs), ell, state[r].plain)})
-		return plan, nil
-	}
-
-	// Semijoin phase: π¹ on the filter side plus the semijoin itself.
-	semijoin := func(target, by int) {
-		add(PlanStep{Phase: "semijoin", Op: "project-one", Node: q.Inputs[by].Name,
-			N: state[by].n, EstBytes: aggCost(state[by])})
-		add(PlanStep{Phase: "semijoin", Op: "semijoin-into", Node: q.Inputs[by].Name + "→" + q.Inputs[target].Name,
-			N: state[target].n, EstBytes: semijoinCost(state[target], state[by])})
-		state[target].plain = false
-	}
-	for _, i := range remaining {
-		if i != tree.Root {
-			semijoin(tree.Parent[i], i)
-		}
-	}
-	for idx := len(remaining) - 1; idx >= 0; idx-- {
-		if i := remaining[idx]; i != tree.Root {
-			semijoin(i, tree.Parent[i])
-		}
-	}
-
-	// Join phase.
-	for _, i := range remaining {
-		add(PlanStep{Phase: "join", Op: "reveal-rows", Node: q.Inputs[i].Name,
-			N: state[i].n, EstBytes: revealCost(state[i].n, len(state[i].schema.Attrs), ell, state[i].plain)})
-	}
-	for _, i := range remaining {
-		add(PlanStep{Phase: "join", Op: "align-annotations", Node: q.Inputs[i].Name,
-			N: estOut, EstBytes: oepBytes(state[i].n, estOut, false)})
-	}
-	add(PlanStep{Phase: "join", Op: "annotation-product", Node: strings.Join(plan.Remaining, "⋈"),
-		N: estOut, EstBytes: mulBytes(estOut, ell) * int64(maxInt(len(remaining)-1, 1))})
-	add(PlanStep{Phase: "reveal", Op: "reveal-annotations", Node: "result",
-		N: estOut, EstBytes: int64(8 * estOut)})
-	return plan, nil
-}
-
-// revealCost estimates the zero-test reveal of an n-row, c-column
-// relation.
-func revealCost(n, c, ell int, plain bool) int64 {
-	if plain {
-		return int64(8 * n * c)
-	}
-	if n == 0 {
-		return 0
-	}
-	probe := n
-	if probe > 32 {
-		probe = 32
-	}
-	cB := gcMessageBytes(buildRevealCircuit(probe, c, ell, true))
-	return cB*int64(n)/int64(probe) + int64(8*n)
-}
+// Rendering of plans (see plan.go for Explain and the compiler). The
+// estimates being data-independent is a restatement of the protocol's
+// obliviousness: both parties compute identical plans from public
+// parameters alone.
 
 // Format renders the plan as a table.
 func (p *Plan) Format(w io.Writer) {

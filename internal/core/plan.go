@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"secyan/internal/gc"
+	"secyan/internal/jointree"
+	"secyan/internal/mpc"
+	"secyan/internal/oep"
+	"secyan/internal/ot"
+	"secyan/internal/psi"
+	"secyan/internal/relation"
+)
+
+// This file is the plan compiler: the single place that decides which
+// operators a query executes. compileQuery replays the driver's control
+// flow over public parameters only (schemas, sizes, owners, plainness),
+// so both parties — and Explain — derive the identical Plan; the
+// executor in exec.go then walks the steps without re-deciding anything.
+// Per-step estimates come from the cost models of the ot, gc, oep and
+// psi packages, which are pinned byte-exact to measured traffic by their
+// own tests, so EstBytes is a prediction of the wire, not a heuristic.
+
+// stepKind discriminates the executor action behind a plan step.
+type stepKind int
+
+const (
+	stepOTSetup stepKind = iota
+	stepShareInput
+	stepPlainInput
+	stepAggregate
+	stepProjectOne
+	stepSemijoinInto
+	stepRevealRelation
+	stepRevealRows
+	stepLocalJoin
+	stepAlignAnnotations
+	stepAnnotationProduct
+	stepRevealAnnotations
+)
+
+// PlanStep is one operator invocation in the plan.
+type PlanStep struct {
+	Phase string // setup | input | reduce | aggregate | semijoin | join | reveal
+	Op    string
+	Node  string // relation involved (or "→parent" notation)
+	N     int    // primary size
+	// EstBytes estimates the step's total communication (both
+	// directions). Join-phase steps scale with the (unknown) output size
+	// and use EstOut.
+	EstBytes int64
+
+	// Executor fields, invisible to plan consumers: the step's action and
+	// its operands as node indices into the query's inputs.
+	kind        stepKind
+	node        int             // primary node (input/aggregate/reveal steps)
+	parent      int             // semijoin-into target node
+	attrs       []relation.Attr // aggregation/projection attributes
+	sender      mpc.Role        // OT-setup direction: the role acting as OT sender
+	intoPending bool            // aggregate result feeds the next semijoin-into
+	final       bool            // reveal step skipped by RunShared
+}
+
+// Estimate returns the step's predicted communication in bytes (both
+// directions), derived from the circuit builders and switching-network
+// closed forms the executor actually uses.
+func (s *PlanStep) Estimate() int64 { return s.EstBytes }
+
+// Plan is the physical plan of a query: the ordered operator DAG that
+// Explain renders and the executor runs.
+type Plan struct {
+	Steps     []PlanStep
+	Root      string
+	Remaining []string
+	// EstBytes totals the step estimates.
+	EstBytes int64
+	// EstOut is the output-size assumption used for join-phase steps.
+	EstOut int
+
+	tree       *jointree.Tree
+	joinOrder  []int // sorted surviving nodes of the final join (nil when single)
+	singleNode int   // surviving node of the single-survivor shortcut, -1 otherwise
+}
+
+// Explain builds the plan for q with estOut as the assumed output size
+// (used only by the join-phase steps of multi-survivor queries). The
+// returned Plan is the same object the executor runs: Run differs only
+// in feeding it data.
+func Explain(q *Query, ringBits, estOut int) (*Plan, error) {
+	return compileQuery(q, ringBits, estOut)
+}
+
+// nodeState is the public protocol state of one tree node during
+// compilation: everything the cost model and operator dispatch depend
+// on, and nothing data-dependent.
+type nodeState struct {
+	schema relation.Schema
+	n      int
+	plain  bool
+	holder mpc.Role
+}
+
+// interpCost is the common shape of the garbled-circuit estimators:
+// interpolate the circuit dimensions in the tuple count and price the
+// resulting messages.
+func interpCost(n int, build func(int) *gc.Circuit) int64 {
+	if n == 0 {
+		return 0
+	}
+	return gc.InterpolateDims(build, n).MessageCost()
+}
+
+func mergeCost(n, ell int, kind mergeKind) int64 {
+	return interpCost(n, func(m int) *gc.Circuit { return buildMergeCircuit(m, ell, kind) })
+}
+
+func mulCost(n, ell int) int64 {
+	return interpCost(n, func(m int) *gc.Circuit { return buildMulCircuit(m, ell) })
+}
+
+func productCost(n, k, ell int) int64 {
+	return interpCost(n, func(m int) *gc.Circuit { return buildProductCircuit(m, k, ell) })
+}
+
+// compileQuery compiles q into its physical plan, mirroring the
+// three-phase driver on nodeState. estOut sizes the join-phase
+// estimates only; the step sequence is independent of it, so a plan
+// compiled with estOut=0 (as Run does) produces the same trace shape as
+// one compiled with the true output size.
+func compileQuery(q *Query, ringBits, estOut int) (*Plan, error) {
+	tree, err := q.Hypergraph().Plan(q.Output)
+	if err != nil {
+		return nil, err
+	}
+	ell := ringBits
+	plan := &Plan{Root: q.Inputs[tree.Root].Name, EstOut: estOut, tree: tree, singleNode: -1}
+	var steps []PlanStep
+	add := func(s PlanStep) { steps = append(steps, s) }
+	// needOT tracks which OT-extension directions the plan uses, indexed
+	// by the sending role; matching setup steps are prepended at the end.
+	var needOT [2]bool
+
+	outSet := map[relation.Attr]bool{}
+	for _, a := range q.Output {
+		outSet[a] = true
+	}
+	state := make([]nodeState, len(q.Inputs))
+	for i, in := range q.Inputs {
+		state[i] = nodeState{schema: in.Schema, n: in.N, plain: !q.NoLocalOptimizations, holder: in.Owner}
+		if q.NoLocalOptimizations {
+			add(PlanStep{Phase: "input", Op: "share-annotations", Node: in.Name, N: in.N,
+				EstBytes: int64(8 * in.N), kind: stepShareInput, node: i})
+		} else {
+			add(PlanStep{Phase: "input", Op: "plain-input", Node: in.Name, N: in.N,
+				kind: stepPlainInput, node: i})
+		}
+	}
+
+	// aggCost prices one oblivious aggregation (π^⊕ or π¹): a bijective
+	// OEP aligning the shares with the holder's sort order plus the
+	// merge-gate chain. The §6.5 plain path is free.
+	aggCost := func(st nodeState, kind mergeKind) int64 {
+		if st.plain || st.n == 0 {
+			return 0
+		}
+		needOT[st.holder.Other()] = true
+		return oep.Cost(st.n, st.n, true) + mergeCost(st.n, ell, kind)
+	}
+	// semijoinCost prices parent ⋈^⊗ child including the final product
+	// circuit, selecting the same alignment strategy SemijoinInto will.
+	semijoinCost := func(par, child nodeState) int64 {
+		cost := mulCost(par.n, ell)
+		if par.n > 0 {
+			needOT[par.holder.Other()] = true
+		}
+		switch {
+		case child.n == 0:
+		case len(child.schema.Attrs) == 0:
+			cost += oep.Cost(child.n, par.n, false)
+			needOT[par.holder.Other()] = true
+		case par.holder == child.holder:
+			cost += oep.Cost(child.n+1, par.n, false)
+			needOT[par.holder.Other()] = true
+		case child.plain:
+			if ell <= psi.IndexWidth(par.n, child.n) {
+				cost += psi.DirectCost(par.n, child.n, ell)
+			} else {
+				cost += psi.IndexedCost(par.n, child.n, ell, false)
+			}
+			cost += oep.Cost(psi.NewParams(par.n, child.n).B, par.n, false)
+			needOT[par.holder.Other()] = true
+		default:
+			cost += psi.IndexedCost(par.n, child.n, ell, true)
+			cost += oep.Cost(psi.NewParams(par.n, child.n).B, par.n, false)
+			needOT[par.holder.Other()] = true
+			// ξ1 runs with reversed roles: the child holder programs the
+			// permutation, so the parent holder is the OT sender.
+			needOT[par.holder] = true
+		}
+		return cost
+	}
+	// revealRowsCost prices the §6.3 step-1 reveal of one relation.
+	revealRowsCost := func(st nodeState) int64 {
+		if st.n == 0 {
+			return 0
+		}
+		cols := len(st.schema.Attrs)
+		if st.plain {
+			if st.holder == mpc.Bob {
+				return int64(8 * st.n * cols)
+			}
+			return 0
+		}
+		needOT[mpc.Bob] = true
+		withRows := st.holder == mpc.Bob
+		return interpCost(st.n, func(m int) *gc.Circuit { return buildRevealCircuit(m, cols, ell, withRows) })
+	}
+
+	// Phase 1: Reduce (§6.4 step 1), replayed on public state.
+	removed := make([]bool, len(state))
+	aggregated := make([]bool, len(state))
+	childrenLeft := make([]int, len(state))
+	for i, cs := range tree.Children {
+		childrenLeft[i] = len(cs)
+	}
+	for _, i := range tree.PostOrder {
+		if i == tree.Root || childrenLeft[i] > 0 {
+			continue
+		}
+		parent := tree.Parent[i]
+		var fPrime []relation.Attr
+		for _, a := range state[i].schema.Attrs {
+			if outSet[a] || state[parent].schema.Has(a) {
+				fPrime = append(fPrime, a)
+			}
+		}
+		subset := true
+		for _, a := range fPrime {
+			if !state[parent].schema.Has(a) {
+				subset = false
+				break
+			}
+		}
+		add(PlanStep{Phase: "reduce", Op: "aggregate", Node: q.Inputs[i].Name,
+			N: state[i].n, EstBytes: aggCost(state[i], mergeSum),
+			kind: stepAggregate, node: i, attrs: fPrime, intoPending: subset})
+		state[i].schema = relation.MustSchema(fPrime...)
+		if subset {
+			add(PlanStep{Phase: "reduce", Op: "semijoin-into", Node: q.Inputs[i].Name + "→" + q.Inputs[parent].Name,
+				N: state[parent].n, EstBytes: semijoinCost(state[parent], state[i]),
+				kind: stepSemijoinInto, parent: parent})
+			state[parent].plain = false
+			removed[i] = true
+			childrenLeft[parent]--
+		} else {
+			aggregated[i] = true
+		}
+	}
+
+	var remaining []int
+	for _, i := range tree.PostOrder {
+		if !removed[i] {
+			remaining = append(remaining, i)
+			plan.Remaining = append(plan.Remaining, q.Inputs[i].Name)
+		}
+	}
+
+	// Soundness guards (see driver.go history: the planner only emits
+	// trees satisfying these, but they are cheap and protect against
+	// planner regressions). They depend only on public schemas, so the
+	// compiler — shared by Explain and the executor — is the right home.
+	for _, i := range remaining {
+		if i == tree.Root {
+			continue
+		}
+		for _, a := range state[i].schema.Attrs {
+			if !outSet[a] {
+				return nil, fmt.Errorf("core: internal error: surviving node %s kept non-output attribute %q", q.Inputs[i].Name, a)
+			}
+		}
+	}
+	for _, a := range state[tree.Root].schema.Attrs {
+		if outSet[a] {
+			continue
+		}
+		for _, i := range remaining {
+			if i != tree.Root && state[i].schema.Has(a) {
+				return nil, fmt.Errorf("core: internal error: root folds attribute %q still joined by %s", a, q.Inputs[i].Name)
+			}
+		}
+	}
+
+	// Every surviving node that skipped the reduce-phase aggregation gets
+	// one now (folds non-output attributes, collapses duplicates).
+	for _, i := range remaining {
+		if aggregated[i] {
+			continue
+		}
+		var keep []relation.Attr
+		for _, a := range state[i].schema.Attrs {
+			if outSet[a] {
+				keep = append(keep, a)
+			}
+		}
+		add(PlanStep{Phase: "aggregate", Op: "aggregate", Node: q.Inputs[i].Name,
+			N: state[i].n, EstBytes: aggCost(state[i], mergeSum),
+			kind: stepAggregate, node: i, attrs: keep})
+		state[i].schema = relation.MustSchema(keep...)
+	}
+
+	if len(remaining) == 1 {
+		// Single-survivor shortcut (§8.1): reveal rows and annotations.
+		r := remaining[0]
+		plan.singleNode = r
+		add(PlanStep{Phase: "reveal", Op: "reveal-relation", Node: q.Inputs[r].Name,
+			N: state[r].n, EstBytes: revealRowsCost(state[r]) + int64(8*state[r].n),
+			kind: stepRevealRelation, node: r, final: true})
+		return plan.seal(steps, needOT), nil
+	}
+
+	// Phase 2: Semijoin — π¹ on the filter side plus the semijoin itself.
+	semijoin := func(target, by int) {
+		shared := state[target].schema.Intersect(state[by].schema)
+		add(PlanStep{Phase: "semijoin", Op: "project-one", Node: q.Inputs[by].Name,
+			N: state[by].n, EstBytes: aggCost(state[by], mergeOr),
+			kind: stepProjectOne, node: by, attrs: shared})
+		ind := nodeState{schema: relation.MustSchema(shared...), n: state[by].n,
+			plain: state[by].plain, holder: state[by].holder}
+		add(PlanStep{Phase: "semijoin", Op: "semijoin-into", Node: q.Inputs[by].Name + "→" + q.Inputs[target].Name,
+			N: state[target].n, EstBytes: semijoinCost(state[target], ind),
+			kind: stepSemijoinInto, parent: target})
+		state[target].plain = false
+	}
+	for _, i := range remaining {
+		if i != tree.Root {
+			semijoin(tree.Parent[i], i)
+		}
+	}
+	for idx := len(remaining) - 1; idx >= 0; idx-- {
+		if i := remaining[idx]; i != tree.Root {
+			semijoin(i, tree.Parent[i])
+		}
+	}
+
+	// Phase 3: Full join (§6.3), decomposed into its message-level steps
+	// so each gets its own trace record. The executor visits nodes in
+	// sorted order, matching ObliviousJoin.
+	order := append([]int(nil), remaining...)
+	sort.Ints(order)
+	plan.joinOrder = order
+	joinLabel := strings.Join(plan.Remaining, "⋈")
+	for _, i := range order {
+		add(PlanStep{Phase: "join", Op: "reveal-rows", Node: q.Inputs[i].Name,
+			N: state[i].n, EstBytes: revealRowsCost(state[i]),
+			kind: stepRevealRows, node: i})
+	}
+	add(PlanStep{Phase: "join", Op: "local-join", Node: joinLabel,
+		N: estOut, EstBytes: 8, kind: stepLocalJoin})
+	for _, i := range order {
+		var est int64
+		if estOut > 0 {
+			est = oep.Cost(state[i].n, estOut, false)
+		}
+		add(PlanStep{Phase: "join", Op: "align-annotations", Node: q.Inputs[i].Name,
+			N: estOut, EstBytes: est, kind: stepAlignAnnotations, node: i})
+	}
+	add(PlanStep{Phase: "join", Op: "annotation-product", Node: joinLabel,
+		N: estOut, EstBytes: productCost(estOut, len(order), ell), kind: stepAnnotationProduct})
+	add(PlanStep{Phase: "reveal", Op: "reveal-annotations", Node: "result",
+		N: estOut, EstBytes: int64(8 * estOut), kind: stepRevealAnnotations, final: true})
+	return plan.seal(steps, needOT), nil
+}
+
+// seal prepends the base-OT setup steps for every OT direction the plan
+// uses and totals the estimates. Setup is priced per direction; when a
+// composed query reuses a party's existing OT sessions the setup steps
+// execute as free cache hits.
+func (p *Plan) seal(steps []PlanStep, needOT [2]bool) *Plan {
+	var all []PlanStep
+	for _, r := range []mpc.Role{mpc.Alice, mpc.Bob} {
+		if needOT[r] {
+			all = append(all, PlanStep{Phase: "setup", Op: "base-ot", Node: r.String() + " sends",
+				EstBytes: ot.SetupCost(), kind: stepOTSetup, sender: r})
+		}
+	}
+	p.Steps = append(all, steps...)
+	p.EstBytes = 0
+	for i := range p.Steps {
+		p.EstBytes += p.Steps[i].EstBytes
+	}
+	return p
+}

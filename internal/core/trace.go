@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"secyan/internal/mpc"
+)
+
+// TraceStep is one executed plan step's record; it aliases mpc.StepTrace
+// so observers subscribed through Party.Observer and consumers of the
+// Trace returned by RunContext see the same type.
+type TraceStep = mpc.StepTrace
+
+// Trace is the execution record of one plan run: one entry per executed
+// step, in plan order. On error it holds the steps completed (or
+// attempted) so far.
+type Trace struct {
+	Steps []TraceStep
+}
+
+// TotalBytes sums the measured communication over all steps (both
+// directions, as seen from this party — the protocols are synchronous,
+// so both parties measure the same totals).
+func (t *Trace) TotalBytes() int64 {
+	var total int64
+	for i := range t.Steps {
+		total += t.Steps[i].Bytes
+	}
+	return total
+}
+
+// Format renders the trace as an EXPLAIN ANALYZE-style table: the plan
+// columns plus measured bytes, rounds and wall time per step.
+func (t *Trace) Format(w io.Writer) {
+	fmt.Fprintf(w, "%-10s %-20s %-28s %10s %14s %14s %7s %12s\n",
+		"phase", "operator", "relation", "rows", "est. comm", "meas. comm", "rounds", "time")
+	var est, meas int64
+	var elapsed time.Duration
+	for _, s := range t.Steps {
+		est += s.EstBytes
+		meas += s.Bytes
+		elapsed += s.Elapsed
+		fmt.Fprintf(w, "%-10s %-20s %-28s %10d %14s %14s %7d %12s\n",
+			s.Phase, s.Op, s.Node, s.N, fmtBytes(s.EstBytes), fmtBytes(s.Bytes),
+			s.Rounds, s.Elapsed.Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "total: estimated %s, measured %s, elapsed %s\n",
+		fmtBytes(est), fmtBytes(meas), elapsed.Round(time.Microsecond))
+}

@@ -1,0 +1,79 @@
+package gc
+
+import "secyan/internal/ot"
+
+// Dims summarizes the size-determining dimensions of a circuit: exactly
+// the quantities that appear in the protocol's message lengths. The
+// plan compiler in internal/core predicts operator traffic from Dims
+// without garbling anything.
+type Dims struct {
+	TableBlocks    int
+	GarblerInputs  int
+	EvalInputs     int
+	EvalOutputs    int
+	GarblerOutputs int
+}
+
+// DimsOf extracts the wire-cost dimensions of a built circuit.
+func DimsOf(c *Circuit) Dims {
+	return Dims{
+		TableBlocks:    c.TableBlocks(),
+		GarblerInputs:  len(c.GarblerInputs),
+		EvalInputs:     len(c.EvalInputs),
+		EvalOutputs:    len(c.EvalOutputs),
+		GarblerOutputs: len(c.GarblerOutputs),
+	}
+}
+
+// MessageCost returns the total bytes (both directions) that
+// RunGarbler/RunEvaluator exchange for a circuit with these dimensions:
+// the garbled-tables message, the evaluator-input OT batch (16-byte
+// labels), and the masked garbler-output bits if any.
+func (d Dims) MessageCost() int64 {
+	cost := int64(16*d.TableBlocks + 16 + 16*d.GarblerInputs + (d.EvalOutputs+7)/8)
+	cost += ot.ExtCost(d.EvalInputs, 16)
+	if d.GarblerOutputs > 0 {
+		cost += int64((d.GarblerOutputs + 7) / 8)
+	}
+	return cost
+}
+
+func (d Dims) sub(o Dims) Dims {
+	return Dims{
+		TableBlocks:    d.TableBlocks - o.TableBlocks,
+		GarblerInputs:  d.GarblerInputs - o.GarblerInputs,
+		EvalInputs:     d.EvalInputs - o.EvalInputs,
+		EvalOutputs:    d.EvalOutputs - o.EvalOutputs,
+		GarblerOutputs: d.GarblerOutputs - o.GarblerOutputs,
+	}
+}
+
+func (d Dims) add(o Dims, k int) Dims {
+	return Dims{
+		TableBlocks:    d.TableBlocks + k*o.TableBlocks,
+		GarblerInputs:  d.GarblerInputs + k*o.GarblerInputs,
+		EvalInputs:     d.EvalInputs + k*o.EvalInputs,
+		EvalOutputs:    d.EvalOutputs + k*o.EvalOutputs,
+		GarblerOutputs: d.GarblerOutputs + k*o.GarblerOutputs,
+	}
+}
+
+// interpolateProbe is the size at which InterpolateDims switches from
+// building the circuit outright to extrapolating. Every operator
+// circuit in this codebase repeats an identical gadget per tuple (only
+// the first tuple may differ), so Dims is affine in n for n ≥ 2 and two
+// probes determine it exactly.
+const interpolateProbe = 48
+
+// InterpolateDims returns DimsOf(build(n)) without materializing large
+// circuits: small instances are built outright; larger ones are
+// extrapolated from two consecutive probes, which is exact for circuits
+// whose per-tuple structure is size-independent.
+func InterpolateDims(build func(n int) *Circuit, n int) Dims {
+	if n <= interpolateProbe+1 {
+		return DimsOf(build(n))
+	}
+	lo := DimsOf(build(interpolateProbe))
+	hi := DimsOf(build(interpolateProbe + 1))
+	return lo.add(hi.sub(lo), n-interpolateProbe)
+}

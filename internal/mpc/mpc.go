@@ -11,6 +11,7 @@
 package mpc
 
 import (
+	"context"
 	"fmt"
 
 	"secyan/internal/gc"
@@ -48,6 +49,23 @@ type Party struct {
 	Ring share.Ring
 	PRG  *prf.PRG
 
+	// Observer, when set, receives one StepTrace per plan step the
+	// executor in internal/core completes on this party's side.
+	Observer func(StepTrace)
+
+	// sess holds state that outlives any context-scoped view of this
+	// party: derived parties made by WithContext share it, so OT
+	// extension set up under one context keeps serving later runs.
+	sess *session
+}
+
+// session is the context-independent part of a Party. The OT sessions
+// are pinned to the raw conn (not a context wrapper) so their stream
+// positions stay aligned with the peer across composed runs; a
+// cancelled context still unblocks them because its watcher closes the
+// underlying conn.
+type session struct {
+	raw    transport.Conn
 	otSend *ot.Sender   // this party as OT sender
 	otRecv *ot.Receiver // this party as OT receiver
 }
@@ -58,34 +76,61 @@ func NewParty(role Role, conn transport.Conn, ring share.Ring) *Party {
 	if ring.Bits == 0 {
 		ring = share.Default
 	}
-	return &Party{Role: role, Conn: conn, Ring: ring, PRG: prf.NewPRG(prf.RandomSeed())}
+	return &Party{Role: role, Conn: conn, Ring: ring, PRG: prf.NewPRG(prf.RandomSeed()),
+		sess: &session{raw: conn}}
+}
+
+// WithContext returns a view of p whose conn operations fail once ctx
+// is cancelled (see transport.WithContext). OT-extension state is
+// shared with p. The caller must invoke the returned release function
+// when the context scope ends; for a background context p itself is
+// returned with a no-op release.
+func (p *Party) WithContext(ctx context.Context) (*Party, func()) {
+	wrapped, release := transport.WithContext(ctx, p.Conn)
+	if wrapped == p.Conn {
+		return p, release
+	}
+	cp := *p
+	cp.Conn = wrapped
+	return &cp, release
+}
+
+// state returns the shared session, initializing it for parties built
+// as struct literals rather than through NewParty.
+func (p *Party) state() *session {
+	if p.sess == nil {
+		p.sess = &session{raw: p.Conn}
+	}
+	return p.sess
 }
 
 // OTSender returns this party's sending OT-extension session, creating it
 // (together with its base OTs) on first use. The peer must call OTReceiver
 // at the matching point of the protocol.
 func (p *Party) OTSender() (*ot.Sender, error) {
-	if p.otSend == nil {
-		s, err := ot.NewSender(p.Conn)
+	st := p.state()
+	if st.otSend == nil {
+		s, err := ot.NewSender(st.raw)
 		if err != nil {
 			return nil, fmt.Errorf("mpc: %v OT sender setup: %w", p.Role, err)
 		}
-		p.otSend = s
+		st.otSend = s
 	}
-	return p.otSend, nil
+	return st.otSend, nil
 }
 
 // OTReceiver returns this party's receiving OT-extension session, creating
 // it on first use.
 func (p *Party) OTReceiver() (*ot.Receiver, error) {
-	if p.otRecv == nil {
-		r, err := ot.NewReceiver(p.Conn)
+	st := p.state()
+	if st.otRecv == nil {
+		r, err := ot.NewReceiver(st.raw)
 		if err != nil {
 			return nil, fmt.Errorf("mpc: %v OT receiver setup: %w", p.Role, err)
 		}
-		p.otRecv = r
+		st.otRecv = r
 	}
-	return p.otRecv, nil
+	return st.otRecv, nil
 }
 
 // RunCircuit evaluates circuit c with the given party acting as garbler.

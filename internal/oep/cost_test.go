@@ -1,0 +1,27 @@
+package oep
+
+import "testing"
+
+// TestGatesMatchesBuildPlan pins the closed-form gate count to the gate
+// sequence the protocol actually executes.
+func TestGatesMatchesBuildPlan(t *testing.T) {
+	sizes := []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33, 100}
+	for _, m := range sizes {
+		pl, _, err := buildPlan(m, m, true)
+		if err != nil {
+			t.Fatalf("buildPlan(%d, %d, bijection): %v", m, m, err)
+		}
+		if got, want := Gates(m, m, true), len(pl.gates); got != want {
+			t.Fatalf("Gates(%d, %d, bijection) = %d, plan has %d", m, m, got, want)
+		}
+		for _, n := range sizes {
+			pl, _, err := buildPlan(m, n, false)
+			if err != nil {
+				t.Fatalf("buildPlan(%d, %d): %v", m, n, err)
+			}
+			if got, want := Gates(m, n, false), len(pl.gates); got != want {
+				t.Fatalf("Gates(%d, %d) = %d, plan has %d", m, n, got, want)
+			}
+		}
+	}
+}

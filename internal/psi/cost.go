@@ -1,0 +1,50 @@
+package psi
+
+import (
+	"secyan/internal/gc"
+	"secyan/internal/oep"
+	"secyan/internal/prf"
+)
+
+// Wire-cost predictors for the PSI variants, used by the plan compiler
+// in internal/core. Each composes the hash-seed message, the comparison
+// circuit (dimensions interpolated over the bin count — the per-bin
+// gadget is identical, so Dims is affine in B) and the OEP stages of
+// the indexed construction. cost_test.go pins them to measured traffic.
+
+// circuitDims interpolates the comparison-circuit dimensions in the bin
+// count with the per-bin load L (and every other parameter) fixed.
+func circuitDims(pr Params, build func(Params) *gc.Circuit) gc.Dims {
+	return gc.InterpolateDims(func(b int) *gc.Circuit {
+		probe := pr
+		probe.B = b
+		return build(probe)
+	}, pr.B)
+}
+
+// DirectCost returns the total bytes (both directions) of one
+// RunReceiver/RunSender execution for public set sizes m (receiver) and
+// n (sender) with ell-bit payloads, excluding one-time base-OT setup.
+func DirectCost(m, n, ell int) int64 {
+	pr := NewParams(m, n)
+	d := circuitDims(pr, func(probe Params) *gc.Circuit { return buildCircuit(probe, ell) })
+	return int64(prf.SeedSize) + d.MessageCost()
+}
+
+// IndexedCost returns the total bytes (both directions) of one indexed
+// PSI execution (§5.5): RunSharedPayloadReceiver/Sender when
+// sharedPayload is true, RunIndexedPlainReceiver/Sender otherwise (the
+// plain variant replaces the ξ₁ OEP with a free local shuffle).
+func IndexedCost(m, n, ell int, sharedPayload bool) int64 {
+	pr := NewParams(m, n)
+	npb := pr.N + pr.B
+	idxW := idxWidth(npb)
+	cost := int64(prf.SeedSize)
+	if sharedPayload {
+		cost += oep.Cost(npb, npb, true)
+	}
+	d := circuitDims(pr, func(probe Params) *gc.Circuit { return buildClearIndexCircuit(probe, ell, idxW) })
+	cost += d.MessageCost()
+	cost += oep.Cost(npb, pr.B, false)
+	return cost
+}

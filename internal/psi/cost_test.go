@@ -1,0 +1,80 @@
+package psi
+
+import (
+	"math/rand"
+	"testing"
+
+	"secyan/internal/mpc"
+	"secyan/internal/share"
+)
+
+// warmOT forces both OT-extension sessions into existence so that the
+// measured PSI traffic excludes one-time base-OT setup.
+func warmOT(t *testing.T, alice, bob *mpc.Party) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() {
+		if _, err := bob.OTReceiver(); err != nil {
+			done <- err
+			return
+		}
+		_, err := bob.OTSender()
+		done <- err
+	}()
+	if _, err := alice.OTSender(); err != nil {
+		t.Fatalf("alice OTSender: %v", err)
+	}
+	if _, err := alice.OTReceiver(); err != nil {
+		t.Fatalf("alice OTReceiver: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("bob OT setup: %v", err)
+	}
+}
+
+// TestCostExact pins DirectCost/IndexedCost to the measured traffic of
+// real executions across set sizes.
+func TestCostExact(t *testing.T) {
+	ring := share.Ring{Bits: 32}
+	rng := rand.New(rand.NewSource(7))
+	for _, sz := range []struct{ m, n int }{{3, 4}, {10, 25}, {40, 17}} {
+		xs, ys := makeSets(rng, sz.m, sz.n, 2)
+		payloads := make([]uint64, sz.n)
+		for i := range payloads {
+			payloads[i] = uint64(rng.Intn(1000))
+		}
+
+		run := func(name string, want int64, recv func(a *mpc.Party) error, send func(b *mpc.Party) error) {
+			alice, bob := mpc.Pair(ring)
+			defer alice.Conn.Close()
+			defer bob.Conn.Close()
+			warmOT(t, alice, bob)
+			alice.Conn.ResetStats()
+			bob.Conn.ResetStats()
+			done := make(chan error, 1)
+			go func() { done <- send(bob) }()
+			if err := recv(alice); err != nil {
+				t.Fatalf("%s m=%d n=%d receiver: %v", name, sz.m, sz.n, err)
+			}
+			if err := <-done; err != nil {
+				t.Fatalf("%s m=%d n=%d sender: %v", name, sz.m, sz.n, err)
+			}
+			if got := alice.Conn.Stats().TotalBytes(); got != want {
+				t.Fatalf("%s m=%d n=%d moved %d bytes, predictor says %d", name, sz.m, sz.n, got, want)
+			}
+		}
+
+		run("direct", DirectCost(sz.m, sz.n, ring.Bits),
+			func(a *mpc.Party) error { _, err := RunReceiver(a, xs, sz.n); return err },
+			func(b *mpc.Party) error { _, err := RunSender(b, ys, payloads, sz.m); return err })
+
+		run("indexed-plain", IndexedCost(sz.m, sz.n, ring.Bits, false),
+			func(a *mpc.Party) error { _, err := RunIndexedPlainReceiver(a, xs, sz.n); return err },
+			func(b *mpc.Party) error { _, err := RunIndexedPlainSender(b, ys, payloads, sz.m); return err })
+
+		zeroShares := make([]uint64, sz.n)
+		run("indexed-shared", IndexedCost(sz.m, sz.n, ring.Bits, true),
+			func(a *mpc.Party) error { _, err := RunSharedPayloadReceiver(a, xs, sz.n, zeroShares); return err },
+			func(b *mpc.Party) error { _, err := RunSharedPayloadSender(b, ys, payloads, sz.m); return err })
+	}
+}

@@ -21,6 +21,7 @@ func FuzzParse(f *testing.F) {
 		"\x00\x01\x02",
 		"SELECT SUM(r.a) FROM r GROUP BY",
 	}
+	seeds = append(seeds, tpchSeedQueries...)
 	for _, s := range seeds {
 		f.Add(s)
 	}
@@ -30,4 +31,48 @@ func FuzzParse(f *testing.F) {
 			t.Fatal("nil statement without error")
 		}
 	})
+}
+
+// tpchSeedQueries are the paper's TPC-H queries written in the dialect
+// the front end accepts, so fuzzing mutates realistic inputs: multi-way
+// joins, date selections, IN lists and arithmetic over annotations.
+var tpchSeedQueries = []string{
+	// Q3: shipping priority.
+	`SELECT orders.orderkey, orders.orderdate, orders.shippriority,
+	        SUM(lineitem.extendedprice * (100 - lineitem.discount))
+	 FROM customer, orders, lineitem
+	 WHERE customer.custkey = orders.custkey AND orders.orderkey = lineitem.orderkey
+	   AND customer.mktsegment = 1 AND orders.orderdate < '1995-03-15'
+	   AND lineitem.shipdate > '1995-03-15'
+	 GROUP BY orders.orderkey, orders.orderdate, orders.shippriority`,
+	// Q10: returned item reporting.
+	`SELECT customer.custkey, customer.nationkey,
+	        SUM(lineitem.extendedprice * (100 - lineitem.discount))
+	 FROM customer, orders, lineitem
+	 WHERE customer.custkey = orders.custkey AND orders.orderkey = lineitem.orderkey
+	   AND orders.orderdate >= '1993-10-01' AND orders.orderdate < '1994-01-01'
+	   AND lineitem.returnflag = 2
+	 GROUP BY customer.custkey, customer.nationkey`,
+	// Q18: large volume customer (threshold subquery flattened).
+	`SELECT customer.custkey, orders.orderkey, orders.orderdate, orders.totalprice,
+	        SUM(lineitem.quantity)
+	 FROM customer, orders, lineitem
+	 WHERE customer.custkey = orders.custkey AND orders.orderkey = lineitem.orderkey
+	 GROUP BY customer.custkey, orders.orderkey, orders.orderdate, orders.totalprice`,
+	// Q8: national market share (one side of the §7 RevealRatio split).
+	`SELECT orders.orderyear, SUM(lineitem.extendedprice * (100 - lineitem.discount))
+	 FROM part, supplier, lineitem, orders, customer
+	 WHERE part.partkey = lineitem.partkey AND supplier.suppkey = lineitem.suppkey
+	   AND lineitem.orderkey = orders.orderkey AND orders.custkey = customer.custkey
+	   AND part.ptype = 3 AND customer.region = 1
+	   AND orders.orderdate >= '1995-01-01' AND orders.orderdate <= '1996-12-31'
+	 GROUP BY orders.orderyear`,
+	// Q9: product type profit measure (one nation of the decomposition).
+	`SELECT orders.orderyear,
+	        SUM(lineitem.extendedprice * (100 - lineitem.discount) - partsupp.supplycost * lineitem.quantity)
+	 FROM part, supplier, lineitem, partsupp, orders
+	 WHERE part.partkey = lineitem.partkey AND supplier.suppkey = lineitem.suppkey
+	   AND partsupp.partkey = lineitem.partkey AND partsupp.suppkey = lineitem.suppkey
+	   AND orders.orderkey = lineitem.orderkey AND part.pname IN (1, 3, 5)
+	 GROUP BY orders.orderyear`,
 }

@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestWithContextBackgroundPassThrough: a context that can never be
+// cancelled must not allocate a wrapper.
+func TestWithContextBackgroundPassThrough(t *testing.T) {
+	a, _ := Pair()
+	c, release := WithContext(context.Background(), a)
+	defer release()
+	if c != a {
+		t.Fatal("background context should return the conn unchanged")
+	}
+}
+
+// TestWithContextCancelUnblocksRecv: cancelling mid-Recv must unblock
+// promptly and report the context error, not ErrClosed.
+func TestWithContextCancelUnblocksRecv(t *testing.T) {
+	a, _ := Pair()
+	ctx, cancel := context.WithCancel(context.Background())
+	c, release := WithContext(ctx, a)
+	defer release()
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Recv()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let Recv block
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Recv after cancel: got %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock after cancel")
+	}
+	if err := c.Send([]byte{1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Send after cancel: got %v, want context.Canceled", err)
+	}
+}
+
+// TestWithContextReleaseKeepsConnUsable: releasing the wrapper without
+// cancellation must leave the underlying conn open.
+func TestWithContextReleaseKeepsConnUsable(t *testing.T) {
+	a, b := Pair()
+	ctx, cancel := context.WithCancel(context.Background())
+	c, release := WithContext(ctx, a)
+	if err := c.Send([]byte("x")); err != nil {
+		t.Fatalf("Send through wrapper: %v", err)
+	}
+	release()
+	cancel() // after release, cancellation must not touch the conn
+	time.Sleep(10 * time.Millisecond)
+	if err := a.Send([]byte("y")); err != nil {
+		t.Fatalf("Send after release+cancel: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := b.Recv(); err != nil {
+			t.Fatalf("peer Recv %d: %v", i, err)
+		}
+	}
+}
