@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"secyan/internal/benchmark"
+	"secyan/internal/obs"
 	"secyan/internal/parallel"
 	"secyan/internal/queries"
 	"secyan/internal/share"
@@ -37,10 +38,21 @@ func main() {
 	ell := flag.Int("ell", 32, "annotation bit width (paper: 32)")
 	workers := flag.Int("workers", 0, "crypto-kernel worker count, 0 for GOMAXPROCS; pin to 1 for strictly serial reference runs")
 	phases := flag.Bool("phases", false, "after each figure, print the per-phase communication/round/time breakdown of the measured secure runs")
+	jsonOut := flag.String("json", "", "write all figure points as JSON to this file (\"-\" for stdout)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/step on this address while benchmarking (enables metrics collection)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the measured secure runs to this file")
 	flag.Parse()
 
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
+	}
+	if *debugAddr != "" {
+		addr, _, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secyan-bench: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug server: http://%s/metrics\n", addr)
 	}
 
 	var scales []float64
@@ -58,9 +70,14 @@ func main() {
 		Ring:        share.Ring{Bits: *ell},
 		Seed:        *seed,
 	}
+	if *traceOut != "" {
+		opt.Tracer = obs.NewTracer()
+		obs.Install(opt.Tracer)
+	}
 
 	specs := []queries.Spec{queries.Q3(), queries.Q10(), queries.Q18(), queries.Q8(), queries.Q9(*q9nations)}
 	ran := false
+	var allPoints []benchmark.Point
 	for _, spec := range specs {
 		if *fig != 0 && spec.Figure != *fig {
 			continue
@@ -71,6 +88,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "secyan-bench: %s: %v\n", spec.Name, err)
 			os.Exit(1)
 		}
+		allPoints = append(allPoints, points...)
 		if *phases {
 			fmt.Println()
 			benchmark.PrintPhases(os.Stdout, points)
@@ -80,4 +98,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "secyan-bench: no figure %d (expected 2-6)\n", *fig)
 		os.Exit(2)
 	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, allPoints); err != nil {
+			fmt.Fprintf(os.Stderr, "secyan-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if opt.Tracer != nil {
+		if err := writeChrome(opt.Tracer, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "secyan-bench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace written to %s\n", *traceOut)
+	}
+}
+
+// writeJSON emits the collected points to path ("-" = stdout).
+func writeJSON(path string, points []benchmark.Point) error {
+	if path == "-" {
+		return benchmark.WriteJSON(os.Stdout, points)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := benchmark.WriteJSON(f, points); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeChrome dumps the benchmark tracer's spans as Chrome trace JSON.
+func writeChrome(tracer *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -23,6 +23,7 @@ import (
 
 	"secyan/internal/core"
 	"secyan/internal/mpc"
+	"secyan/internal/obs"
 	"secyan/internal/queries"
 	"secyan/internal/relation"
 	"secyan/internal/share"
@@ -40,7 +41,10 @@ func main() {
 	q9nations := flag.Int("q9nations", 2, "nations in the Q9 decomposition (paper: 25)")
 	maxRows := flag.Int("maxrows", 20, "result rows to print")
 	explain := flag.Bool("explain", false, "print the execution plan and cost estimate instead of running")
-	analyze := flag.Bool("analyze", false, "run the query and print the per-step trace (plan columns plus measured bytes, rounds, wall time)")
+	analyze := flag.Bool("analyze", false, "run the query and print the per-step trace (plan columns plus measured bytes, messages, rounds, wall time)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/step on this address (enables metrics collection)")
+	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server (and process) alive this long after the run finishes, so the final metrics can still be scraped")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
 	flag.Parse()
 
 	var spec queries.Spec
@@ -72,11 +76,50 @@ func main() {
 		return
 	}
 
-	if *role == "" {
-		runInProcess(spec, db, ring, *maxRows, *analyze)
-		return
+	if *debugAddr != "" {
+		addr, _, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secyan: debug server: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug server: http://%s/metrics\n", addr)
 	}
-	runDistributed(spec, db, ring, *role, *listen, *connect, *maxRows, *analyze)
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		obs.Install(tracer)
+	}
+
+	if *role == "" {
+		runInProcess(spec, db, ring, *maxRows, *analyze, tracer)
+	} else {
+		runDistributed(spec, db, ring, *role, *listen, *connect, *maxRows, *analyze, tracer)
+	}
+
+	if tracer != nil {
+		if err := writeTrace(tracer, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "secyan: trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("chrome trace written to %s\n", *traceOut)
+	}
+	if *debugAddr != "" && *debugLinger > 0 {
+		fmt.Printf("debug server lingering for %s...\n", *debugLinger)
+		time.Sleep(*debugLinger)
+	}
+}
+
+// writeTrace dumps the accumulated spans as Chrome trace-event JSON.
+func writeTrace(tracer *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printExplain renders the plan of the query's (first) secure execution.
@@ -96,13 +139,17 @@ func printExplain(spec queries.Spec, db *tpch.DB, ring share.Ring) error {
 	return nil
 }
 
-func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int, analyze bool) {
+func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int, analyze bool, tracer *obs.Tracer) {
 	alice, bob := mpc.Pair(ring)
 	defer alice.Conn.Close()
 	defer bob.Conn.Close()
 	var trace core.Trace
 	if analyze {
 		alice.Observer = func(s core.TraceStep) { trace.Steps = append(trace.Steps, s) }
+	}
+	if tracer != nil {
+		alice.Track = tracer.Track("Alice")
+		bob.Track = tracer.Track("Bob")
 	}
 	start := time.Now()
 	res, _, err := mpc.Run2PC(alice, bob,
@@ -129,7 +176,7 @@ func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int, 
 	}
 }
 
-func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, listen, connect string, maxRows int, analyze bool) {
+func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, listen, connect string, maxRows int, analyze bool, tracer *obs.Tracer) {
 	var conn transport.Conn
 	var err error
 	var r mpc.Role
@@ -163,6 +210,9 @@ func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, liste
 	var trace core.Trace
 	if analyze {
 		p.Observer = func(s core.TraceStep) { trace.Steps = append(trace.Steps, s) }
+	}
+	if tracer != nil {
+		p.Track = tracer.Track(r.String())
 	}
 	start := time.Now()
 	res, err := spec.Secure(p, db)

@@ -17,12 +17,15 @@
 package benchmark
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"secyan/internal/gcbaseline"
 	"secyan/internal/mpc"
+	"secyan/internal/obs"
 	"secyan/internal/queries"
 	"secyan/internal/relation"
 	"secyan/internal/share"
@@ -39,28 +42,50 @@ const (
 	MethodGC     Method = "garbled-circuit"
 )
 
-// Point is one figure data point.
+// Point is one figure data point. The json tags define the schema of
+// WriteJSON, the machine-readable form of a figure.
 type Point struct {
-	Query          string
-	ScaleMB        float64
-	EffectiveBytes int64
-	Method         Method
-	Seconds        float64
-	Bytes          float64
-	Extrapolated   bool
-	OutputRows     int
+	Query          string  `json:"query"`
+	ScaleMB        float64 `json:"scale_mb"`
+	EffectiveBytes int64   `json:"effective_bytes"`
+	Method         Method  `json:"method"`
+	Seconds        float64 `json:"seconds"`
+	Bytes          float64 `json:"bytes"`
+	Extrapolated   bool    `json:"extrapolated,omitempty"`
+	OutputRows     int     `json:"output_rows,omitempty"`
+	// HeapAllocDeltaBytes and TotalAllocDeltaBytes capture the Go
+	// allocator's view of a measured run: live-heap growth (negative when
+	// a collection ran mid-measurement) and cumulative bytes allocated.
+	// Zero for extrapolated points.
+	HeapAllocDeltaBytes  int64 `json:"heap_alloc_delta_bytes,omitempty"`
+	TotalAllocDeltaBytes int64 `json:"total_alloc_delta_bytes,omitempty"`
 	// Phases breaks the measured secure run down by protocol phase, in
 	// execution order; nil for extrapolated points and other methods.
-	Phases []PhaseCost
+	Phases []PhaseCost `json:"phases,omitempty"`
 }
 
 // PhaseCost aggregates the per-step trace of a secure run over one
 // protocol phase (setup, input, reduce, semijoin, join, ...).
 type PhaseCost struct {
-	Phase   string
-	Bytes   int64
-	Rounds  int64
-	Seconds float64
+	Phase   string  `json:"phase"`
+	Bytes   int64   `json:"bytes"`
+	Rounds  int64   `json:"rounds"`
+	Seconds float64 `json:"seconds"`
+}
+
+// memDelta fills in a point's allocator deltas from MemStats snapshots
+// taken around its measured run.
+func (p *Point) memDelta(before, after *runtime.MemStats) {
+	p.HeapAllocDeltaBytes = int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	p.TotalAllocDeltaBytes = int64(after.TotalAlloc - before.TotalAlloc)
+}
+
+// WriteJSON emits figure points as an indented JSON array — the
+// machine-readable companion of PrintFigure for downstream plotting.
+func WriteJSON(w io.Writer, points []Point) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(points)
 }
 
 // Options configures a figure run.
@@ -77,6 +102,10 @@ type Options struct {
 	Ring share.Ring
 	// Seed for data generation.
 	Seed int64
+	// Tracer, when set, records span timelines of the measured secure
+	// runs: one "query@scale/party" track pair per run, exportable with
+	// Tracer.WriteChrome.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions mirror the paper's setup at laptop-friendly scales.
@@ -130,20 +159,25 @@ func RunFigure(spec queries.Spec, opt Options, w io.Writer) ([]Point, error) {
 		eff := spec.EffectiveBytes(db)
 
 		// Non-private baseline.
+		var msBefore, msAfter runtime.MemStats
+		runtime.ReadMemStats(&msBefore)
 		start := time.Now()
 		plainRes, err := spec.Plain(db, opt.Ring.Bits)
 		if err != nil {
 			return nil, fmt.Errorf("benchmark: %s plain at %gMB: %w", spec.Name, scale, err)
 		}
-		points = append(points, Point{
+		plainPt := Point{
 			Query: spec.Name, ScaleMB: scale, EffectiveBytes: eff, Method: MethodPlain,
 			Seconds: time.Since(start).Seconds(), Bytes: float64(eff),
 			OutputRows: plainRes.Len(),
-		})
+		}
+		runtime.ReadMemStats(&msAfter)
+		plainPt.memDelta(&msBefore, &msAfter)
+		points = append(points, plainPt)
 
 		// Secure Yannakakis: measured up to the cap, extrapolated after.
 		if scale <= opt.SecureCapMB {
-			pt, err := runSecure(spec, db, opt.Ring)
+			pt, err := runSecure(spec, db, scale, opt)
 			if err != nil {
 				return nil, fmt.Errorf("benchmark: %s secure at %gMB: %w", spec.Name, scale, err)
 			}
@@ -191,10 +225,15 @@ func calibrateGC(ring share.Ring) (gcbaseline.Calibration, error) {
 
 // runSecure executes the full protocol once and measures wall time and
 // Alice's total traffic.
-func runSecure(spec queries.Spec, db *tpch.DB, ring share.Ring) (Point, error) {
-	alice, bob := mpc.Pair(ring)
+func runSecure(spec queries.Spec, db *tpch.DB, scale float64, opt Options) (Point, error) {
+	alice, bob := mpc.Pair(opt.Ring)
 	defer alice.Conn.Close()
 	defer bob.Conn.Close()
+	if opt.Tracer != nil {
+		prefix := fmt.Sprintf("%s@%gMB/", spec.Name, scale)
+		alice.Track = opt.Tracer.Track(prefix + "Alice")
+		bob.Track = opt.Tracer.Track(prefix + "Bob")
+	}
 	var phases []PhaseCost
 	alice.Observer = func(s mpc.StepTrace) {
 		if n := len(phases); n == 0 || phases[n-1].Phase != s.Phase {
@@ -205,6 +244,8 @@ func runSecure(spec queries.Spec, db *tpch.DB, ring share.Ring) (Point, error) {
 		pc.Rounds += s.Rounds
 		pc.Seconds += s.Elapsed.Seconds()
 	}
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	res, _, err := mpc.Run2PC(alice, bob,
 		func(p *mpc.Party) (*relation.Relation, error) { return spec.Secure(p, db) },
@@ -214,13 +255,16 @@ func runSecure(spec queries.Spec, db *tpch.DB, ring share.Ring) (Point, error) {
 		return Point{}, err
 	}
 	st := alice.Conn.Stats()
-	return Point{
+	pt := Point{
 		Query: spec.Name, Method: MethodSecure,
 		Seconds:    time.Since(start).Seconds(),
 		Bytes:      float64(st.TotalBytes()),
 		OutputRows: res.Len(),
 		Phases:     phases,
-	}, nil
+	}
+	runtime.ReadMemStats(&msAfter)
+	pt.memDelta(&msBefore, &msAfter)
+	return pt, nil
 }
 
 // PrintPhases renders the per-phase breakdown of each measured secure

@@ -7,9 +7,17 @@ import (
 
 	"secyan/internal/gc"
 	"secyan/internal/mpc"
+	"secyan/internal/obs"
 	"secyan/internal/oep"
 	"secyan/internal/relation"
 	"secyan/internal/yannakakis"
+)
+
+// Executor metrics: one increment per plan run / plan step on this
+// party's side. Like all obs collection, off until obs.Enable.
+var (
+	mPlanRuns  = obs.NewCounter("secyan_core_plan_runs_total", "Plan executions started (per party side in this process).")
+	mPlanSteps = obs.NewCounter("secyan_core_plan_steps_total", "Plan steps executed (per party side in this process).")
 )
 
 // This file is the plan executor: Run and RunShared compile the query
@@ -80,6 +88,29 @@ func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool) (*SharedR
 	ex := &executor{p: pp, q: q, plan: plan, dg: relation.NewDummyGenAfter(ownRels...),
 		srs: make([]*SharedRelation, len(q.Inputs)), revealed: map[int]*relation.Relation{}}
 
+	mPlanRuns.Inc()
+	// Span tracing: the whole run is one span, each plan phase and step a
+	// child, and Track.Bind routes kernel spans (gc, ot, psi) under the
+	// step executing them. All of it reads clocks and appends to
+	// process-local memory only — never the connection — so transcripts
+	// are untouched (guarded by the obs equivalence test).
+	track := pp.Track
+	var runSpan, phaseSpan obs.Span
+	curPhase := ""
+	if track != nil {
+		unbind := track.Bind()
+		defer unbind()
+		runSpan = track.Begin("run", "run")
+		defer func() {
+			phaseSpan.End()
+			runSpan.End()
+		}()
+	}
+	live := obs.Enabled()
+	if live {
+		defer obs.ClearCurrentStep(p.Role.String())
+	}
+
 	tr := &Trace{}
 	for si := range plan.Steps {
 		st := &plan.Steps[si]
@@ -88,6 +119,22 @@ func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool) (*SharedR
 		}
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, nil, tr, stepErr(st, cerr)
+		}
+		mPlanSteps.Inc()
+		var stepSpan obs.Span
+		if track != nil {
+			if st.Phase != curPhase {
+				phaseSpan.End()
+				phaseSpan = track.Begin("phase", st.Phase)
+				curPhase = st.Phase
+			}
+			stepSpan = track.Begin("step", st.Op+"["+st.Node+"]")
+		}
+		if live {
+			obs.SetCurrentStep(obs.StepStatus{
+				Party: p.Role.String(), Phase: st.Phase, Op: st.Op, Node: st.Node,
+				N: st.N, Step: si + 1, Steps: len(plan.Steps),
+				StartedUnixNano: time.Now().UnixNano()})
 		}
 		before := pp.Conn.Stats()
 		start := time.Now()
@@ -102,6 +149,7 @@ func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool) (*SharedR
 			st.kind == stepAnnotationProduct || st.kind == stepRevealAnnotations {
 			rec.N = ex.out // the true output size, known after the local join
 		}
+		stepSpan.EndN(int64(rec.N))
 		tr.Steps = append(tr.Steps, rec)
 		if pp.Observer != nil {
 			pp.Observer(rec)

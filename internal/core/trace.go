@@ -32,20 +32,21 @@ func (t *Trace) TotalBytes() int64 {
 }
 
 // Format renders the trace as an EXPLAIN ANALYZE-style table: the plan
-// columns plus measured bytes, rounds and wall time per step.
+// columns plus measured bytes, messages, rounds and wall time per step.
 func (t *Trace) Format(w io.Writer) {
-	fmt.Fprintf(w, "%-10s %-20s %-28s %10s %14s %14s %7s %12s\n",
-		"phase", "operator", "relation", "rows", "est. comm", "meas. comm", "rounds", "time")
-	var est, meas int64
+	fmt.Fprintf(w, "%-10s %-20s %-28s %10s %14s %14s %6s %7s %12s\n",
+		"phase", "operator", "relation", "rows", "est. comm", "meas. comm", "msgs", "rounds", "time")
+	var est, meas, msgs int64
 	var elapsed time.Duration
 	for _, s := range t.Steps {
 		est += s.EstBytes
 		meas += s.Bytes
+		msgs += s.Messages
 		elapsed += s.Elapsed
-		fmt.Fprintf(w, "%-10s %-20s %-28s %10d %14s %14s %7d %12s\n",
+		fmt.Fprintf(w, "%-10s %-20s %-28s %10d %14s %14s %6d %7d %12s\n",
 			s.Phase, s.Op, s.Node, s.N, fmtBytes(s.EstBytes), fmtBytes(s.Bytes),
-			s.Rounds, s.Elapsed.Round(time.Microsecond))
+			s.Messages, s.Rounds, s.Elapsed.Round(time.Microsecond))
 	}
-	fmt.Fprintf(w, "total: estimated %s, measured %s, elapsed %s\n",
-		fmtBytes(est), fmtBytes(meas), elapsed.Round(time.Microsecond))
+	fmt.Fprintf(w, "total: estimated %s, measured %s, %d messages, elapsed %s\n",
+		fmtBytes(est), fmtBytes(meas), msgs, elapsed.Round(time.Microsecond))
 }

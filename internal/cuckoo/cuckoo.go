@@ -11,7 +11,18 @@ import (
 	"fmt"
 	"math"
 
+	"secyan/internal/obs"
 	"secyan/internal/prf"
+)
+
+// Cuckoo-hashing metrics. Rehashes should stay at (or near) zero — each
+// retry has probability < 2^-σ for σ=40-sized tables — so a nonzero
+// rehash counter in a metrics snapshot is itself a signal. Collection is
+// off until obs.Enable.
+var (
+	mBuilds   = obs.NewCounter("secyan_cuckoo_builds_total", "Cuckoo tables built successfully.")
+	mRehashes = obs.NewCounter("secyan_cuckoo_rehashes_total", "Full-table rehash retries after a failed insertion walk.")
+	mKicks    = obs.NewHistogram("secyan_cuckoo_kicks", "Eviction kicks per successful table build.")
 )
 
 // NumHashes is the number of cuckoo hash functions (paper §5.3 uses 3).
@@ -75,6 +86,9 @@ func Build(g *prf.PRG, items []uint64) (*Table, error) {
 	}
 	b := NumBins(len(items))
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if attempt > 0 {
+			mRehashes.Inc()
+		}
 		t := &Table{
 			B:         b,
 			Seed:      g.Seed(),
@@ -82,14 +96,16 @@ func Build(g *prf.PRG, items []uint64) (*Table, error) {
 			Bins:      make([]int, b),
 			WhichHash: make([]uint8, len(items)),
 		}
-		if t.tryBuild(g) {
+		if kicks, ok := t.tryBuild(g); ok {
+			mBuilds.Inc()
+			mKicks.Observe(int64(kicks))
 			return t, nil
 		}
 	}
 	return nil, fmt.Errorf("cuckoo: failed to build table for %d items after %d rehashes", len(items), maxAttempts)
 }
 
-func (t *Table) tryBuild(g *prf.PRG) bool {
+func (t *Table) tryBuild(g *prf.PRG) (int, bool) {
 	for i := range t.Bins {
 		t.Bins[i] = -1
 	}
@@ -113,11 +129,11 @@ func (t *Table) tryBuild(g *prf.PRG) bool {
 			which = (t.WhichHash[cur] + 1 + uint8(g.Uint64n(NumHashes-1))) % NumHashes
 			kicks++
 			if kicks > maxKicks {
-				return false
+				return kicks, false
 			}
 		}
 	}
-	return true
+	return kicks, true
 }
 
 // BinItem returns the item in bin b and true, or 0 and false if empty.

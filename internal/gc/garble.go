@@ -2,10 +2,38 @@ package gc
 
 import (
 	"fmt"
+	"time"
 
+	"secyan/internal/obs"
 	"secyan/internal/parallel"
 	"secyan/internal/prf"
 )
+
+// Garbling-kernel metrics. Counters advance once per circuit (never per
+// gate, so the gate loops stay contention-free); the gates-per-second
+// gauges capture the most recent kernel's throughput, the histograms
+// the latency distribution. Everything is off until obs.Enable; the
+// disabled fast path is guarded by BenchmarkObsDisabled.
+var (
+	mGatesGarbled   = obs.NewCounter("secyan_gc_gates_garbled_total", "Gates garbled (all kinds; free gates included).")
+	mAndsGarbled    = obs.NewCounter("secyan_gc_and_gates_garbled_total", "AND/ANDG gates garbled (the ones that cost ciphertexts).")
+	mGatesEvaled    = obs.NewCounter("secyan_gc_gates_evaluated_total", "Gates evaluated (all kinds; free gates included).")
+	mAndsEvaled     = obs.NewCounter("secyan_gc_and_gates_evaluated_total", "AND/ANDG gates evaluated.")
+	mCircuitsGarb   = obs.NewCounter("secyan_gc_circuits_garbled_total", "Circuits garbled.")
+	mCircuitsEval   = obs.NewCounter("secyan_gc_circuits_evaluated_total", "Circuits evaluated.")
+	mGarbleNs       = obs.NewHistogram("secyan_gc_garble_ns", "Latency of garbling one circuit, nanoseconds.")
+	mEvalNs         = obs.NewHistogram("secyan_gc_evaluate_ns", "Latency of evaluating one circuit, nanoseconds.")
+	mGarbleGateRate = obs.NewGauge("secyan_gc_garble_gates_per_second", "Throughput of the most recent garbling kernel, gates/second.")
+	mEvalGateRate   = obs.NewGauge("secyan_gc_evaluate_gates_per_second", "Throughput of the most recent evaluation kernel, gates/second.")
+)
+
+// gateRate converts a gate count and elapsed time to gates/second.
+func gateRate(gates int, d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64(float64(gates) / d.Seconds())
+}
 
 // garbled holds the garbler's view of a garbled circuit: the zero-label of
 // every wire, the global free-XOR offset Δ, and the AND-gate tables.
@@ -25,6 +53,20 @@ type garbled struct {
 // and table offset comes from the serial order, so the resulting labels
 // and tables are byte-identical at any worker count.
 func garble(c *Circuit, g *prf.PRG, priv []bool) *garbled {
+	sp := obs.Begin("gc", "gc.garble")
+	defer sp.EndN(int64(len(c.Gates)))
+	var startT time.Time
+	if obs.Enabled() {
+		startT = time.Now()
+		defer func() {
+			d := time.Since(startT)
+			mCircuitsGarb.Inc()
+			mGatesGarbled.Add(int64(len(c.Gates)))
+			mAndsGarbled.Add(int64(c.NumAnd + c.NumAndG))
+			mGarbleNs.Observe(d.Nanoseconds())
+			mGarbleGateRate.Set(gateRate(len(c.Gates), d))
+		}()
+	}
 	gb := &garbled{
 		labels: make([]prf.Block, c.NumWires),
 		tables: make([]prf.Block, c.TableBlocks()),
@@ -144,6 +186,20 @@ func (gb *garbled) garbleAnd(c *Circuit, sched *schedule, gi int, priv []bool) {
 func evaluate(c *Circuit, active []prf.Block, tables []prf.Block) error {
 	if len(tables) != c.TableBlocks() {
 		return fmt.Errorf("gc: got %d table blocks, want %d", len(tables), c.TableBlocks())
+	}
+	sp := obs.Begin("gc", "gc.evaluate")
+	defer sp.EndN(int64(len(c.Gates)))
+	var startT time.Time
+	if obs.Enabled() {
+		startT = time.Now()
+		defer func() {
+			d := time.Since(startT)
+			mCircuitsEval.Inc()
+			mGatesEvaled.Add(int64(len(c.Gates)))
+			mAndsEvaled.Add(int64(c.NumAnd + c.NumAndG))
+			mEvalNs.Observe(d.Nanoseconds())
+			mEvalGateRate.Set(gateRate(len(c.Gates), d))
+		}()
 	}
 	sched := c.scheduleOf()
 	for _, ly := range sched.layers {

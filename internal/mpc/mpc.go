@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"secyan/internal/gc"
+	"secyan/internal/obs"
 	"secyan/internal/ot"
 	"secyan/internal/prf"
 	"secyan/internal/share"
@@ -52,6 +53,13 @@ type Party struct {
 	// Observer, when set, receives one StepTrace per plan step the
 	// executor in internal/core completes on this party's side.
 	Observer func(StepTrace)
+
+	// Track, when set, is the span timeline the executor in
+	// internal/core records this party's run/phase/step spans on; it
+	// also binds the party's protocol goroutine so kernel spans (gc,
+	// ot, psi) nest beneath the executing plan step. Tracing never
+	// touches the connection, so it cannot perturb transcripts.
+	Track *obs.Track
 
 	// sess holds state that outlives any context-scoped view of this
 	// party: derived parties made by WithContext share it, so OT

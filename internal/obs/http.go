@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// ServeDebug starts the debug HTTP server on addr (host:port; port 0
+// picks a free one) and enables metric collection. It serves:
+//
+//	/metrics       Prometheus text exposition of the default registry
+//	/debug/vars    expvar JSON (includes the registry under "secyan")
+//	/debug/pprof/  the standard net/http/pprof profile endpoints
+//	/debug/step    live JSON snapshot of the currently executing plan
+//	               step of every party in this process
+//
+// It returns the bound address (useful with port 0) and a function that
+// shuts the server down.
+func ServeDebug(addr string) (boundAddr string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	Enable()
+	srv := &http.Server{Handler: DebugHandler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// DebugHandler returns the debug server's route multiplexer, so tests
+// can drive the endpoints without a socket.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Default().WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/step", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(CurrentSteps())
+	})
+	return mux
+}

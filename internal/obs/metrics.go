@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric naming scheme (see DESIGN.md §9): secyan_<package>_<what>_<unit>,
+// counters suffixed _total, durations recorded in nanoseconds with the
+// _ns suffix. All metrics of this repository live in the default
+// registry and are created at package init time of their home package,
+// so /metrics lists every instrument (at zero) from process start.
+
+// metric is the interface all instrument kinds expose to the registry.
+type metric interface {
+	metricName() string
+	metricHelp() string
+	// writeProm renders the metric in Prometheus text format.
+	writeProm(w io.Writer)
+	// snapshotValue returns the expvar/JSON representation.
+	snapshotValue() any
+}
+
+// Registry is an ordered collection of metrics with Prometheus and
+// expvar exposition. The package-level default registry is the one all
+// instrumentation in this repository writes to; independent registries
+// exist for tests.
+type Registry struct {
+	on *atomic.Bool
+
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]metric
+}
+
+// defaultRegistry collects every metric in the process. Its switch is
+// the package-level enabled flag, so it starts disabled (free).
+var defaultRegistry = &Registry{on: &enabled, byName: map[string]metric{}}
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// NewRegistry returns an independent, enabled registry (used by tests;
+// production instrumentation uses the default registry).
+func NewRegistry() *Registry {
+	on := &atomic.Bool{}
+	on.Store(true)
+	return &Registry{on: on, byName: map[string]metric{}}
+}
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.metricName()]; dup {
+		panic("obs: duplicate metric " + m.metricName())
+	}
+	r.byName[m.metricName()] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format, in registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	for _, m := range ms {
+		fmt.Fprintf(w, "# HELP %s %s\n", m.metricName(), m.metricHelp())
+		m.writeProm(w)
+	}
+}
+
+// Snapshot returns all metric values keyed by name — the expvar view.
+func (r *Registry) Snapshot() map[string]any {
+	r.mu.Lock()
+	ms := make([]metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+	out := make(map[string]any, len(ms))
+	for _, m := range ms {
+		out[m.metricName()] = m.snapshotValue()
+	}
+	return out
+}
+
+func init() {
+	// The default registry's values under /debug/vars, next to the
+	// stdlib's memstats and cmdline.
+	expvar.Publish("secyan", expvar.Func(func() any { return defaultRegistry.Snapshot() }))
+}
+
+// Counter is a monotonically increasing int64. The zero of all hot-path
+// concerns: Add on a disabled registry is one atomic load and a branch.
+type Counter struct {
+	on         *atomic.Bool
+	v          atomic.Int64
+	name, help string
+}
+
+// NewCounter creates and registers a counter in the default registry.
+func NewCounter(name, help string) *Counter { return defaultRegistry.NewCounter(name, help) }
+
+// NewCounter creates and registers a counter in r.
+func (r *Registry) NewCounter(name, help string) *Counter {
+	c := &Counter{on: r.on, name: name, help: help}
+	r.register(c)
+	return c
+}
+
+// Add increments the counter by n when collection is enabled.
+func (c *Counter) Add(n int64) {
+	if !c.on.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) metricHelp() string { return c.help }
+func (c *Counter) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.name, c.name, c.Value())
+}
+func (c *Counter) snapshotValue() any { return c.Value() }
+
+// Gauge is a settable int64 value.
+type Gauge struct {
+	on         *atomic.Bool
+	v          atomic.Int64
+	name, help string
+}
+
+// NewGauge creates and registers a gauge in the default registry.
+func NewGauge(name, help string) *Gauge { return defaultRegistry.NewGauge(name, help) }
+
+// NewGauge creates and registers a gauge in r.
+func (r *Registry) NewGauge(name, help string) *Gauge {
+	g := &Gauge{on: r.on, name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Set stores v when collection is enabled.
+func (g *Gauge) Set(v int64) {
+	if !g.on.Load() {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by n when collection is enabled.
+func (g *Gauge) Add(n int64) {
+	if !g.on.Load() {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) metricHelp() string { return g.help }
+func (g *Gauge) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", g.name, g.name, g.Value())
+}
+func (g *Gauge) snapshotValue() any { return g.Value() }
+
+// histBuckets is the fixed bucket count of every histogram: bucket i
+// holds observations v with 2^(i-1) < v ≤ 2^i (bucket 0 holds v ≤ 1),
+// the last bucket is unbounded. 48 buckets cover nanosecond latencies
+// up to ~3.9 days and sizes up to 2^47, which is more than any kernel
+// in this repository produces.
+const histBuckets = 48
+
+// Histogram is a fixed log2-bucket histogram of int64 observations.
+type Histogram struct {
+	on         *atomic.Bool
+	name, help string
+	count, sum atomic.Int64
+	buckets    [histBuckets]atomic.Int64
+}
+
+// NewHistogram creates and registers a histogram in the default registry.
+func NewHistogram(name, help string) *Histogram { return defaultRegistry.NewHistogram(name, help) }
+
+// NewHistogram creates and registers a histogram in r.
+func (r *Registry) NewHistogram(name, help string) *Histogram {
+	h := &Histogram{on: r.on, name: name, help: help}
+	r.register(h)
+	return h
+}
+
+// bucketOf returns the log2 bucket index of v: the smallest i with
+// v ≤ 2^i, clamped to the last (unbounded) bucket.
+func bucketOf(v int64) int {
+	if v <= 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(v - 1))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// Observe records v when collection is enabled.
+func (h *Histogram) Observe(v int64) {
+	if !h.on.Load() {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bucketOf(v)].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+func (h *Histogram) metricName() string { return h.name }
+func (h *Histogram) metricHelp() string { return h.help }
+
+func (h *Histogram) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", h.name)
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		n := h.buckets[i].Load()
+		if n == 0 && i != histBuckets-1 {
+			continue // elide empty buckets; cumulative counts stay correct
+		}
+		cum += n
+		if i == histBuckets-1 {
+			cum = h.Count() // the +Inf bucket absorbs any skipped tail
+			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
+		} else {
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", h.name, int64(1)<<i, cum)
+		}
+	}
+	fmt.Fprintf(w, "%s_sum %d\n", h.name, h.Sum())
+	fmt.Fprintf(w, "%s_count %d\n", h.name, h.Count())
+}
+
+func (h *Histogram) snapshotValue() any {
+	return map[string]int64{"count": h.Count(), "sum": h.Sum()}
+}
+
+// SortedNames returns the registered metric names in lexical order
+// (tests and diagnostics).
+func (r *Registry) SortedNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.metrics))
+	for _, m := range r.metrics {
+		names = append(names, m.metricName())
+	}
+	sort.Strings(names)
+	return names
+}

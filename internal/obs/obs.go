@@ -1,0 +1,45 @@
+// Package obs is the repository's observability layer: a metrics
+// registry (counters, gauges, log-scale histograms) with Prometheus
+// text-format and expvar exposition, hierarchical span tracing with
+// Chrome trace-event JSON export, a live snapshot of the currently
+// executing plan step, and a debug HTTP server tying them together.
+//
+// The package is stdlib-only and sits below every other package in the
+// repository: transport, parallel, ot, gc, psi, cuckoo, mpc, core and
+// benchmark all instrument through it, so obs must never import any of
+// them.
+//
+// Two contracts govern every instrumentation site:
+//
+//   - Disabled means free. With no sink attached (metrics disabled, no
+//     tracer installed) every instrumentation call reduces to an atomic
+//     load and a branch — no allocation, no time.Now(), no lock. The
+//     zero-alloc property is asserted by TestDisabledPathAllocs and
+//     guarded by BenchmarkObsDisabled in internal/gc.
+//
+//   - Observation never perturbs transcripts. Metrics and spans only
+//     read clocks and append to process-local memory; they never touch
+//     the transport, the PRGs, or any protocol state. The root
+//     transcript-equivalence suite runs the full protocol with and
+//     without sinks attached and requires byte-identical traffic.
+package obs
+
+import "sync/atomic"
+
+// enabled is the master switch for metric collection and the live step
+// status. It gates the default registry; tracing has its own switch
+// (Install).
+var enabled atomic.Bool
+
+// Enable turns on metric collection into the default registry and the
+// live step status. It is called automatically by ServeDebug.
+func Enable() { enabled.Store(true) }
+
+// Disable turns metric collection back off. Accumulated values are
+// retained.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether metric collection is on. Instrumentation
+// sites use it to skip work (time.Now calls, snapshot assembly) whose
+// only purpose is to feed metrics.
+func Enabled() bool { return enabled.Load() }

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// StepStatus is the live snapshot of the plan step a party is currently
+// executing, published by the executor in internal/core and served as
+// JSON on the debug server's /debug/step endpoint.
+type StepStatus struct {
+	Party string `json:"party"`
+	Phase string `json:"phase"`
+	Op    string `json:"op"`
+	Node  string `json:"node"`
+	N     int    `json:"n"`
+	// Step is the 1-based index of the executing step; Steps the plan's
+	// total step count.
+	Step  int `json:"step"`
+	Steps int `json:"steps"`
+	// StartedUnixNano is the wall-clock start of the step.
+	StartedUnixNano int64 `json:"started_unix_nano"`
+}
+
+var (
+	statusMu sync.Mutex
+	current  map[string]StepStatus
+)
+
+// SetCurrentStep publishes the step st.Party is executing right now.
+// Callers gate on Enabled(), so an unobserved run pays nothing.
+func SetCurrentStep(st StepStatus) {
+	statusMu.Lock()
+	if current == nil {
+		current = make(map[string]StepStatus)
+	}
+	current[st.Party] = st
+	statusMu.Unlock()
+}
+
+// ClearCurrentStep removes the party's entry when its run finishes.
+func ClearCurrentStep(party string) {
+	statusMu.Lock()
+	delete(current, party)
+	statusMu.Unlock()
+}
+
+// CurrentSteps returns the executing steps of all parties in this
+// process, sorted by party name; empty when nothing is running.
+func CurrentSteps() []StepStatus {
+	statusMu.Lock()
+	out := make([]StepStatus, 0, len(current))
+	for _, st := range current {
+		out = append(out, st)
+	}
+	statusMu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Party < out[j].Party })
+	return out
+}

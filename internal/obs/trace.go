@@ -1,0 +1,280 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span tracing records hierarchical timed regions — run → phase → plan
+// step → crypto kernel — and exports them as Chrome trace-event JSON
+// loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// A Tracer owns one or more Tracks; a Track is one timeline (one party,
+// rendered as one "thread" in the viewer). Structured layers that hold
+// a *Track (the plan executor via mpc.Party.Track) begin spans on it
+// directly. Kernel layers (gc, ot, psi) have no party handle, so a
+// track can be bound to the executing goroutine with Track.Bind; the
+// package-level Begin then resolves the calling goroutine's track. With
+// no tracer installed, Begin is a single atomic load returning a no-op
+// span.
+
+// Tracer accumulates spans for one traced execution.
+type Tracer struct {
+	start time.Time
+	// now returns the elapsed time since start; replaced by tests that
+	// need deterministic timestamps.
+	now func() time.Duration
+
+	mu     sync.Mutex
+	tracks []*Track
+}
+
+// NewTracer returns an empty tracer whose clock starts now.
+func NewTracer() *Tracer {
+	t := &Tracer{start: time.Now()}
+	t.now = func() time.Duration { return time.Since(t.start) }
+	return t
+}
+
+// Track creates a new timeline named name (typically the party: "Alice",
+// "Bob"). Tracks render as separate threads in the Chrome trace viewer.
+func (t *Tracer) Track(name string) *Track {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tk := &Track{tr: t, id: len(t.tracks), name: name}
+	t.tracks = append(t.tracks, tk)
+	return tk
+}
+
+// installed is the process-wide tracer kernel spans attach to.
+var installed atomic.Pointer[Tracer]
+
+// Install makes t the process-wide tracer that package-level Begin
+// resolves against. Install(nil) uninstalls.
+func Install(t *Tracer) { installed.Store(t) }
+
+// Installed returns the process-wide tracer, or nil.
+func Installed() *Tracer { return installed.Load() }
+
+// spanRecord is one completed span on a track.
+type spanRecord struct {
+	name, cat  string
+	start, dur time.Duration
+	n          int64
+	hasN       bool
+}
+
+// Track is one timeline of a tracer.
+type Track struct {
+	tr   *Tracer
+	id   int
+	name string
+
+	mu    sync.Mutex
+	spans []spanRecord
+}
+
+// Span is an open timed region. The zero Span is a valid no-op: End
+// does nothing, so disabled tracing costs neither allocation nor clock
+// reads.
+type Span struct {
+	track     *Track
+	name, cat string
+	start     time.Duration
+}
+
+// Begin opens a span on this track. A nil track yields a no-op span.
+func (tk *Track) Begin(cat, name string) Span {
+	if tk == nil {
+		return Span{}
+	}
+	return Span{track: tk, cat: cat, name: name, start: tk.tr.now()}
+}
+
+// End closes the span.
+func (s Span) End() { s.end(0, false) }
+
+// EndN closes the span recording a work count n (gates, OT instances,
+// rows) as the span's "n" argument in the exported trace.
+func (s Span) EndN(n int64) { s.end(n, true) }
+
+func (s Span) end(n int64, hasN bool) {
+	if s.track == nil {
+		return
+	}
+	end := s.track.tr.now()
+	s.track.mu.Lock()
+	s.track.spans = append(s.track.spans, spanRecord{
+		name: s.name, cat: s.cat, start: s.start, dur: end - s.start, n: n, hasN: hasN})
+	s.track.mu.Unlock()
+}
+
+// Goroutine → track binding, so kernel code can emit spans without a
+// party handle. The map is consulted only when a tracer is installed.
+var (
+	bindMu sync.Mutex
+	bound  map[uint64]*Track
+)
+
+// Bind associates the calling goroutine with this track until the
+// returned release function runs. Nested binds restore the previous
+// binding on release. Binding a nil track is a no-op.
+func (tk *Track) Bind() (release func()) {
+	if tk == nil {
+		return func() {}
+	}
+	id := goid()
+	bindMu.Lock()
+	if bound == nil {
+		bound = make(map[uint64]*Track)
+	}
+	prev, had := bound[id]
+	bound[id] = tk
+	bindMu.Unlock()
+	return func() {
+		bindMu.Lock()
+		if had {
+			bound[id] = prev
+		} else {
+			delete(bound, id)
+		}
+		bindMu.Unlock()
+	}
+}
+
+// Begin opens a kernel span on the track bound to the calling
+// goroutine. With no tracer installed it returns a no-op span without
+// touching the clock or the binding table; with a tracer but no bound
+// track the span is dropped (kernels running outside a traced plan).
+func Begin(cat, name string) Span {
+	if installed.Load() == nil {
+		return Span{}
+	}
+	id := goid()
+	bindMu.Lock()
+	tk := bound[id]
+	bindMu.Unlock()
+	return tk.Begin(cat, name)
+}
+
+// goid parses the calling goroutine's id from its stack header
+// ("goroutine N [running]:"). Only called when a tracer is installed;
+// costs on the order of a microsecond.
+func goid() uint64 {
+	var buf [40]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = len("goroutine ")
+	var id uint64
+	for _, c := range buf[prefix:n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}
+
+// chromeEvent is one entry of the Chrome trace-event format. Field
+// order here is the serialization order (encoding/json preserves struct
+// order), which the golden tests pin down.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat,omitempty"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`
+	Dur  float64          `json:"dur,omitempty"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// usOf converts a duration to fractional microseconds, the unit of the
+// Chrome trace format.
+func usOf(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChrome writes the accumulated spans as Chrome trace-event JSON:
+// one thread per track (named via metadata events), one complete ("X")
+// event per span. Within a track, events are ordered by start time with
+// enclosing spans before the spans they contain, so the output is
+// deterministic given deterministic timestamps.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	t.mu.Lock()
+	tracks := make([]*Track, len(t.tracks))
+	copy(tracks, t.tracks)
+	t.mu.Unlock()
+
+	var events []chromeEvent
+	type metaEvent struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Tid  int               `json:"tid"`
+		Args map[string]string `json:"args"`
+	}
+	var metas []metaEvent
+	for _, tk := range tracks {
+		metas = append(metas, metaEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: tk.id,
+			Args: map[string]string{"name": tk.name}})
+	}
+
+	for _, tk := range tracks {
+		tk.mu.Lock()
+		spans := make([]spanRecord, len(tk.spans))
+		copy(spans, tk.spans)
+		tk.mu.Unlock()
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].start != spans[j].start {
+				return spans[i].start < spans[j].start
+			}
+			return spans[i].dur > spans[j].dur
+		})
+		for _, sp := range spans {
+			ev := chromeEvent{Name: sp.name, Cat: sp.cat, Ph: "X",
+				Ts: usOf(sp.start), Dur: usOf(sp.dur), Pid: 0, Tid: tk.id}
+			if sp.hasN {
+				ev.Args = map[string]int64{"n": sp.n}
+			}
+			events = append(events, ev)
+		}
+	}
+
+	// Hand-assemble the envelope so metadata events (string args) and
+	// span events (int args) can coexist in one array with stable field
+	// ordering.
+	if _, err := io.WriteString(w, "{\"traceEvents\":["); err != nil {
+		return err
+	}
+	first := true
+	writeItem := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = w.Write(b)
+		return err
+	}
+	for _, m := range metas {
+		if err := writeItem(m); err != nil {
+			return err
+		}
+	}
+	for _, ev := range events {
+		if err := writeItem(ev); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scriptedTracer returns a tracer whose clock yields the given elapsed
+// times, one per Begin/End call, for deterministic golden output.
+func scriptedTracer(t *testing.T, times ...time.Duration) *Tracer {
+	t.Helper()
+	tr := NewTracer()
+	i := 0
+	tr.now = func() time.Duration {
+		if i >= len(times) {
+			t.Fatalf("scripted clock exhausted after %d reads", len(times))
+		}
+		d := times[i]
+		i++
+		return d
+	}
+	return tr
+}
+
+func us(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+
+// TestWriteChromeGolden pins the exact Chrome trace-event JSON the
+// exporter emits: field order, event order (metadata first, then spans
+// by track, outer spans before inner), and the envelope.
+func TestWriteChromeGolden(t *testing.T) {
+	tr := scriptedTracer(t,
+		us(0),  // run begin (Alice)
+		us(2),  // step begin (Alice)
+		us(3),  // kernel begin (Alice)
+		us(8),  // kernel end
+		us(10), // step end
+		us(12), // step begin (Bob)
+		us(20), // step end (Bob)
+		us(30), // run end (Alice)
+	)
+	alice := tr.Track("Alice")
+	bob := tr.Track("Bob")
+
+	run := alice.Begin("run", "run")
+	step := alice.Begin("step", "share-input[R]")
+	kern := alice.Begin("gc", "gc.garble")
+	kern.EndN(1234)
+	step.End()
+	bstep := bob.Begin("step", "share-input[R]")
+	bstep.End()
+	run.End()
+
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	got := sb.String()
+	want := `{"traceEvents":[` +
+		`{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"Alice"}},` +
+		`{"name":"thread_name","ph":"M","pid":0,"tid":1,"args":{"name":"Bob"}},` +
+		`{"name":"run","cat":"run","ph":"X","ts":0,"dur":30,"pid":0,"tid":0},` +
+		`{"name":"share-input[R]","cat":"step","ph":"X","ts":2,"dur":8,"pid":0,"tid":0},` +
+		`{"name":"gc.garble","cat":"gc","ph":"X","ts":3,"dur":5,"pid":0,"tid":0,"args":{"n":1234}},` +
+		`{"name":"share-input[R]","cat":"step","ph":"X","ts":12,"dur":8,"pid":0,"tid":1}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if got != want {
+		t.Fatalf("chrome trace:\n%s\nwant:\n%s", got, want)
+	}
+	if !json.Valid([]byte(got)) {
+		t.Fatal("exported trace is not valid JSON")
+	}
+}
+
+// TestWriteChromeNesting checks the structural invariants every export
+// must satisfy: valid JSON, every span's begin/end pair well formed
+// (dur ≥ 0), and spans on one track either disjoint or strictly nested.
+func TestWriteChromeNesting(t *testing.T) {
+	tr := scriptedTracer(t,
+		us(0), us(1), us(2), us(4), us(5), us(6), us(7), us(8), us(9), us(10),
+	)
+	tk := tr.Track("Alice")
+	outer := tk.Begin("run", "run")
+	s1 := tk.Begin("step", "a")
+	k1 := tk.Begin("gc", "k1")
+	k1.End()
+	s1.End()
+	s2 := tk.Begin("step", "b")
+	k2 := tk.Begin("ot", "k2")
+	k2.End()
+	s2.End()
+	outer.End()
+
+	var sb strings.Builder
+	if err := tr.WriteChrome(&sb); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	type ev struct {
+		Name string  `json:"name"`
+		Ph   string  `json:"ph"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Tid  int     `json:"tid"`
+	}
+	var trace struct {
+		TraceEvents []ev `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &trace); err != nil {
+		t.Fatalf("export does not parse: %v", err)
+	}
+	var spans []ev
+	for _, e := range trace.TraceEvents {
+		if e.Ph == "X" {
+			if e.Dur < 0 {
+				t.Fatalf("span %q has negative duration %v", e.Name, e.Dur)
+			}
+			spans = append(spans, e)
+		}
+	}
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	for i := 0; i < len(spans); i++ {
+		for j := i + 1; j < len(spans); j++ {
+			a, b := spans[i], spans[j]
+			if a.Tid != b.Tid {
+				continue
+			}
+			aEnd, bEnd := a.Ts+a.Dur, b.Ts+b.Dur
+			disjoint := aEnd <= b.Ts || bEnd <= a.Ts
+			aInB := b.Ts <= a.Ts && aEnd <= bEnd
+			bInA := a.Ts <= b.Ts && bEnd <= aEnd
+			if !disjoint && !aInB && !bInA {
+				t.Errorf("spans %q and %q partially overlap: [%v,%v) vs [%v,%v)",
+					a.Name, b.Name, a.Ts, aEnd, b.Ts, bEnd)
+			}
+		}
+	}
+}
+
+// TestSpanZeroValue: the zero Span must be inert.
+func TestSpanZeroValue(t *testing.T) {
+	var sp Span
+	sp.End()
+	sp.EndN(7)
+	var tk *Track
+	sp = tk.Begin("x", "y")
+	sp.End()
+}

@@ -14,9 +14,22 @@ import (
 	"crypto/rand"
 	"fmt"
 	"math/big"
+	"time"
 
+	"secyan/internal/obs"
 	"secyan/internal/prf"
 	"secyan/internal/transport"
+)
+
+// OT metrics: base-OT instances (public-key operations, the expensive
+// setup) and extension instances (symmetric-only, the bulk workload)
+// with per-call latency histograms. Collection is off until obs.Enable.
+var (
+	mBaseOTs    = obs.NewCounter("secyan_ot_base_total", "Naor-Pinkas base OT instances executed (sender+receiver sides of this process).")
+	mBaseNs     = obs.NewHistogram("secyan_ot_base_ns", "Latency of one base-OT batch (BaseSend/BaseRecv call), nanoseconds.")
+	mExtOTs     = obs.NewCounter("secyan_ot_ext_total", "IKNP extension OT instances executed (sender+receiver sides of this process).")
+	mExtBatches = obs.NewCounter("secyan_ot_ext_batches_total", "IKNP extension batches (Send/Receive calls).")
+	mExtNs      = obs.NewHistogram("secyan_ot_ext_ns", "Latency of one IKNP extension batch, nanoseconds.")
 )
 
 // groupP is the 2048-bit MODP prime of RFC 3526 group 14; groupG is its
@@ -64,6 +77,16 @@ func encodeElement(x *big.Int) []byte {
 // the κ-bit pair pairs[i]; the receiver learns exactly one of the two.
 func BaseSend(conn transport.Conn, pairs [][2]prf.Seed) error {
 	n := len(pairs)
+	sp := obs.Begin("ot", "ot.base.send")
+	defer sp.EndN(int64(n))
+	var startT time.Time
+	if obs.Enabled() {
+		startT = time.Now()
+		defer func() {
+			mBaseOTs.Add(int64(n))
+			mBaseNs.Observe(time.Since(startT).Nanoseconds())
+		}()
+	}
 	// Publish the random group element C whose discrete log nobody knows.
 	c := new(big.Int).Exp(groupG, randomExponent(), groupP)
 	if err := conn.Send(encodeElement(c)); err != nil {
@@ -109,6 +132,16 @@ func BaseSend(conn transport.Conn, pairs [][2]prf.Seed) error {
 // the chosen message of each instance.
 func BaseRecv(conn transport.Conn, choices []bool) ([]prf.Seed, error) {
 	n := len(choices)
+	sp := obs.Begin("ot", "ot.base.recv")
+	defer sp.EndN(int64(n))
+	var startT time.Time
+	if obs.Enabled() {
+		startT = time.Now()
+		defer func() {
+			mBaseOTs.Add(int64(n))
+			mBaseNs.Observe(time.Since(startT).Nanoseconds())
+		}()
+	}
 	cMsg, err := conn.Recv()
 	if err != nil {
 		return nil, err

@@ -2,8 +2,10 @@ package ot
 
 import (
 	"fmt"
+	"time"
 
 	"secyan/internal/bitutil"
+	"secyan/internal/obs"
 	"secyan/internal/parallel"
 	"secyan/internal/prf"
 	"secyan/internal/transport"
@@ -91,6 +93,17 @@ func (r *Receiver) Receive(choices []bool, msgLen int) ([][]byte, error) {
 	if m == 0 {
 		return nil, nil
 	}
+	sp := obs.Begin("ot", "ot.ext.recv")
+	defer sp.EndN(int64(m))
+	var startT time.Time
+	if obs.Enabled() {
+		startT = time.Now()
+		defer func() {
+			mExtOTs.Add(int64(m))
+			mExtBatches.Inc()
+			mExtNs.Observe(time.Since(startT).Nanoseconds())
+		}()
+	}
 	mPad := (m + 63) &^ 63
 	rowBytes := mPad / 8
 
@@ -162,6 +175,17 @@ func (s *Sender) Send(pairs [][2][]byte) error {
 	m := len(pairs)
 	if m == 0 {
 		return nil
+	}
+	sp := obs.Begin("ot", "ot.ext.send")
+	defer sp.EndN(int64(m))
+	var startT time.Time
+	if obs.Enabled() {
+		startT = time.Now()
+		defer func() {
+			mExtOTs.Add(int64(m))
+			mExtBatches.Inc()
+			mExtNs.Observe(time.Since(startT).Nanoseconds())
+		}()
 	}
 	msgLen := len(pairs[0][0])
 	for _, p := range pairs {

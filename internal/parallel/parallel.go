@@ -24,6 +24,21 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"secyan/internal/obs"
+)
+
+// Worker-pool metrics. Busy time is the sum of per-chunk kernel time
+// across all workers; span time is workers × wall time of each For
+// call, so busy/span is the pool's utilization. All reads of the clock
+// are gated on obs.Enabled, keeping the disabled path free.
+var (
+	mForCalls = obs.NewCounter("secyan_parallel_for_total", "parallel.For invocations.")
+	mChunks   = obs.NewCounter("secyan_parallel_chunks_total", "Work chunks executed by the pool (serial fast-path counts one).")
+	mBusyNs   = obs.NewCounter("secyan_parallel_busy_ns_total", "Nanoseconds workers spent inside kernels.")
+	mSpanNs   = obs.NewCounter("secyan_parallel_span_ns_total", "Workers times wall nanoseconds of each For call; busy/span is pool occupancy.")
+	mWorkers  = obs.NewGauge("secyan_parallel_workers", "Worker count of the most recent parallel For call.")
 )
 
 // override holds a pinned worker count; 0 means "use GOMAXPROCS".
@@ -73,9 +88,22 @@ func For(n, grain int, fn func(lo, hi int)) {
 	if grain < 1 {
 		grain = 1
 	}
+	measured := obs.Enabled()
+	var start time.Time
+	if measured {
+		mForCalls.Inc()
+		start = time.Now()
+	}
 	workers := Workers()
 	if workers == 1 || n <= grain {
 		fn(0, n)
+		if measured {
+			d := time.Since(start).Nanoseconds()
+			mChunks.Inc()
+			mBusyNs.Add(d)
+			mSpanNs.Add(d)
+			mWorkers.Set(1)
+		}
 		return
 	}
 	// Aim for a few chunks per worker for load balance, but never chunks
@@ -88,12 +116,20 @@ func For(n, grain int, fn func(lo, hi int)) {
 	chunks := (n + size - 1) / size
 	if chunks == 1 {
 		fn(0, n)
+		if measured {
+			d := time.Since(start).Nanoseconds()
+			mChunks.Inc()
+			mBusyNs.Add(d)
+			mSpanNs.Add(d)
+			mWorkers.Set(1)
+		}
 		return
 	}
 	if workers > chunks {
 		workers = chunks
 	}
 	var next atomic.Int64
+	var busy atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -109,9 +145,21 @@ func For(n, grain int, fn func(lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
-				fn(lo, hi)
+				if measured {
+					t0 := time.Now()
+					fn(lo, hi)
+					busy.Add(time.Since(t0).Nanoseconds())
+				} else {
+					fn(lo, hi)
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if measured {
+		mChunks.Add(int64(chunks))
+		mBusyNs.Add(busy.Load())
+		mSpanNs.Add(int64(workers) * time.Since(start).Nanoseconds())
+		mWorkers.Set(int64(workers))
+	}
 }

@@ -25,7 +25,21 @@ import (
 	"secyan/internal/cuckoo"
 	"secyan/internal/gc"
 	"secyan/internal/mpc"
+	"secyan/internal/obs"
 	"secyan/internal/prf"
+)
+
+// PSI metrics: executions, bin-space dimensions, and occupancy. The bin
+// stats quantify the padding overhead of circuit phasing — how many of
+// the L·B sender slots and B receiver bins carry real elements versus
+// dummies. Collection is off until obs.Enable.
+var (
+	mPSIRuns      = obs.NewCounter("secyan_psi_runs_total", "PSI executions (receiver+sender sides of this process).")
+	mPSIBins      = obs.NewHistogram("secyan_psi_bins", "Cuckoo bin count B per PSI execution.")
+	mPSIBinLoad   = obs.NewHistogram("secyan_psi_sender_bin_load", "Real (unpadded) entries per sender bin.")
+	mPSIPadded    = obs.NewCounter("secyan_psi_sender_padded_slots_total", "Dummy slots added to pad sender bins to the load bound L.")
+	mPSIEmptyBins = obs.NewCounter("secyan_psi_receiver_empty_bins_total", "Receiver cuckoo bins left empty (filled with dummies).")
+	mPSIElements  = obs.NewCounter("secyan_psi_elements_total", "Real elements fed into PSI executions (both sides).")
 )
 
 // Sigma is the statistical security parameter (paper §4: σ = 40) used for
@@ -105,6 +119,12 @@ func senderBins(seed prf.Seed, pr Params, ys, payloads []uint64) (keys, pays [][
 			pays[b] = append(pays[b], payloads[j])
 		}
 	}
+	if obs.Enabled() {
+		for b := 0; b < pr.B; b++ {
+			mPSIBinLoad.Observe(int64(len(keys[b])))
+			mPSIPadded.Add(int64(pr.L - len(keys[b])))
+		}
+	}
 	for b := 0; b < pr.B; b++ {
 		for len(keys[b]) < pr.L {
 			keys[b] = append(keys[b], senderDummyKey)
@@ -118,10 +138,12 @@ func senderBins(seed prf.Seed, pr Params, ys, payloads []uint64) (keys, pays [][
 // bin, with dummies for empty bins.
 func receiverKeys(t *cuckoo.Table) ([]uint64, error) {
 	out := make([]uint64, t.B)
+	var empty int64
 	for b := 0; b < t.B; b++ {
 		v, ok := t.BinItem(b)
 		if !ok {
 			out[b] = receiverDummyKey
+			empty++
 			continue
 		}
 		k, err := Compose(v, t.BinHash(b))
@@ -130,6 +152,7 @@ func receiverKeys(t *cuckoo.Table) ([]uint64, error) {
 		}
 		out[b] = k
 	}
+	mPSIEmptyBins.Add(empty)
 	return out, nil
 }
 
@@ -171,6 +194,11 @@ func buildCircuit(pr Params, ell int) *gc.Circuit {
 // receives only shares.
 func RunReceiver(p *mpc.Party, xs []uint64, nSender int) (*Result, error) {
 	pr := NewParams(len(xs), nSender)
+	sp := obs.Begin("psi", "psi.recv")
+	defer sp.EndN(int64(pr.B))
+	mPSIRuns.Inc()
+	mPSIElements.Add(int64(len(xs)))
+	mPSIBins.Observe(int64(pr.B))
 	table, err := cuckoo.Build(p.PRG, xs)
 	if err != nil {
 		return nil, err
@@ -211,6 +239,11 @@ func RunSender(p *mpc.Party, ys, payloads []uint64, mReceiver int) (*Result, err
 		return nil, fmt.Errorf("psi: %d elements with %d payloads", len(ys), len(payloads))
 	}
 	pr := NewParams(mReceiver, len(ys))
+	sp := obs.Begin("psi", "psi.send")
+	defer sp.EndN(int64(pr.B))
+	mPSIRuns.Inc()
+	mPSIElements.Add(int64(len(ys)))
+	mPSIBins.Observe(int64(pr.B))
 	seedMsg, err := p.Conn.Recv()
 	if err != nil {
 		return nil, err

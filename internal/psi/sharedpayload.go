@@ -7,6 +7,7 @@ import (
 	"secyan/internal/cuckoo"
 	"secyan/internal/gc"
 	"secyan/internal/mpc"
+	"secyan/internal/obs"
 	"secyan/internal/oep"
 	"secyan/internal/prf"
 )
@@ -100,6 +101,11 @@ func RunIndexedPlainReceiver(p *mpc.Party, xs []uint64, nSender int) (*Result, e
 
 func runIndexedReceiver(p *mpc.Party, xs []uint64, nSender int, myPayShares []uint64, plain bool) (*Result, error) {
 	pr := NewParams(len(xs), nSender)
+	sp := obs.Begin("psi", "psi.indexed.recv")
+	defer sp.EndN(int64(pr.B))
+	mPSIRuns.Inc()
+	mPSIElements.Add(int64(len(xs)))
+	mPSIBins.Observe(int64(pr.B))
 	npb := pr.N + pr.B
 
 	// Step 1-2: extend with zero shares; Bob permutes — via OEP when the
@@ -182,6 +188,11 @@ func RunIndexedPlainSender(p *mpc.Party, ys []uint64, payloads []uint64, mReceiv
 
 func runIndexedSender(p *mpc.Party, ys []uint64, myPayShares []uint64, mReceiver int, plain bool) (*Result, error) {
 	pr := NewParams(mReceiver, len(ys))
+	sp := obs.Begin("psi", "psi.indexed.send")
+	defer sp.EndN(int64(pr.B))
+	mPSIRuns.Inc()
+	mPSIElements.Add(int64(len(ys)))
+	mPSIBins.Observe(int64(pr.B))
 	npb := pr.N + pr.B
 
 	// Steps 1-2: extend and permute by a fresh random ξ₁ — obliviously

@@ -87,12 +87,18 @@ func (t *tcpConn) Send(data []byte) error {
 	t.mu.Lock()
 	t.stats.BytesSent += int64(len(data))
 	t.stats.MessagesSent++
-	if t.lastRecv || !t.started {
+	round := t.lastRecv || !t.started
+	if round {
 		t.stats.Rounds++
 	}
 	t.lastRecv = false
 	t.started = true
 	t.mu.Unlock()
+	mBytesSent.Add(int64(len(data)))
+	mMsgsSent.Inc()
+	if round {
+		mRounds.Inc()
+	}
 	return nil
 }
 
@@ -109,6 +115,8 @@ func (t *tcpConn) Recv() ([]byte, error) {
 	t.lastRecv = true
 	t.started = true
 	t.mu.Unlock()
+	mBytesRecv.Add(int64(len(buf)))
+	mMsgsRecv.Inc()
 	return buf, nil
 }
 

@@ -15,10 +15,25 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"secyan/internal/obs"
 )
 
 // ErrClosed is returned by Send and Recv after the connection is closed.
 var ErrClosed = errors.New("transport: connection closed")
+
+// Process-wide traffic metrics, aggregated over every Conn of both
+// implementations. They re-export what per-connection Stats already
+// measure so the debug server's /metrics shows live totals; per-step
+// attribution stays with Stats snapshots. Collection is off until
+// obs.Enable, so the per-message cost is one atomic load per counter.
+var (
+	mBytesSent = obs.NewCounter("secyan_transport_bytes_sent_total", "Payload bytes sent over all connections of this process.")
+	mBytesRecv = obs.NewCounter("secyan_transport_bytes_recv_total", "Payload bytes received over all connections of this process.")
+	mMsgsSent  = obs.NewCounter("secyan_transport_msgs_sent_total", "Messages sent over all connections of this process.")
+	mMsgsRecv  = obs.NewCounter("secyan_transport_msgs_recv_total", "Messages received over all connections of this process.")
+	mRounds    = obs.NewCounter("secyan_transport_rounds_total", "Direction switches (communication rounds) observed by sending endpoints of this process.")
+)
 
 // MaxMessageSize bounds a single message. It exists to catch corrupted
 // length prefixes on the wire before attempting a huge allocation. It is
@@ -134,12 +149,18 @@ func (p *pipeEnd) Send(data []byte) error {
 	p.mu.Lock()
 	p.stats.BytesSent += int64(len(data))
 	p.stats.MessagesSent++
-	if p.lastRecv || !p.started {
+	round := p.lastRecv || !p.started
+	if round {
 		p.stats.Rounds++
 	}
 	p.lastRecv = false
 	p.started = true
 	p.mu.Unlock()
+	mBytesSent.Add(int64(len(data)))
+	mMsgsSent.Inc()
+	if round {
+		mRounds.Inc()
+	}
 	return nil
 }
 
@@ -154,6 +175,8 @@ func (p *pipeEnd) Recv() ([]byte, error) {
 	p.lastRecv = true
 	p.started = true
 	p.mu.Unlock()
+	mBytesRecv.Add(int64(len(m)))
+	mMsgsRecv.Inc()
 	return m, nil
 }
 
