@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all test short race bench vet fuzz
+.PHONY: all test short race bench bench-json vet fuzz
 
 all: vet test
 
@@ -29,6 +29,13 @@ race:
 # `go test -bench Figure .` and cmd/secyan-bench.
 bench:
 	$(GO) test -run '^$$' -bench 'Workers' -benchmem ./internal/...
+
+# Regenerate the committed figure points (BENCH_pr4.json) with the
+# plan-driven offline phase enabled, at laptop-friendly scales. The
+# offline/online split per measured secure point lands in the JSON as
+# offline_seconds/online_seconds/offline_bytes.
+bench-json:
+	$(GO) run ./cmd/secyan-bench -precompute -scales 0.02,0.06,0.12 -securecap 0.12 -json BENCH_pr4.json
 
 vet:
 	$(GO) vet ./...

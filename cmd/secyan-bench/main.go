@@ -38,6 +38,7 @@ func main() {
 	ell := flag.Int("ell", 32, "annotation bit width (paper: 32)")
 	workers := flag.Int("workers", 0, "crypto-kernel worker count, 0 for GOMAXPROCS; pin to 1 for strictly serial reference runs")
 	phases := flag.Bool("phases", false, "after each figure, print the per-phase communication/round/time breakdown of the measured secure runs")
+	precompute := flag.Bool("precompute", false, "run the plan-driven offline phase (OT pools, ahead-of-time garbling) before each measured secure run and report the offline/online split")
 	jsonOut := flag.String("json", "", "write all figure points as JSON to this file (\"-\" for stdout)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/step on this address while benchmarking (enables metrics collection)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the measured secure runs to this file")
@@ -69,6 +70,7 @@ func main() {
 		SecureCapMB: *secureCap,
 		Ring:        share.Ring{Bits: *ell},
 		Seed:        *seed,
+		Precompute:  *precompute,
 	}
 	if *traceOut != "" {
 		opt.Tracer = obs.NewTracer()

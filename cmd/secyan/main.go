@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +43,7 @@ func main() {
 	maxRows := flag.Int("maxrows", 20, "result rows to print")
 	explain := flag.Bool("explain", false, "print the execution plan and cost estimate instead of running")
 	analyze := flag.Bool("analyze", false, "run the query and print the per-step trace (plan columns plus measured bytes, messages, rounds, wall time)")
+	precompute := flag.Bool("precompute", false, "run the plan-driven offline phase (OT pools, ahead-of-time garbling) first and report the offline/online split; in distributed mode both parties must pass it (the offline phase has its own traffic)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/step on this address (enables metrics collection)")
 	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server (and process) alive this long after the run finishes, so the final metrics can still be scraped")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
@@ -91,9 +93,9 @@ func main() {
 	}
 
 	if *role == "" {
-		runInProcess(spec, db, ring, *maxRows, *analyze, tracer)
+		runInProcess(spec, db, ring, *maxRows, *analyze, *precompute, tracer)
 	} else {
-		runDistributed(spec, db, ring, *role, *listen, *connect, *maxRows, *analyze, tracer)
+		runDistributed(spec, db, ring, *role, *listen, *connect, *maxRows, *analyze, *precompute, tracer)
 	}
 
 	if tracer != nil {
@@ -139,7 +141,7 @@ func printExplain(spec queries.Spec, db *tpch.DB, ring share.Ring) error {
 	return nil
 }
 
-func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int, analyze bool, tracer *obs.Tracer) {
+func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int, analyze, precompute bool, tracer *obs.Tracer) {
 	alice, bob := mpc.Pair(ring)
 	defer alice.Conn.Close()
 	defer bob.Conn.Close()
@@ -152,6 +154,25 @@ func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int, 
 		bob.Track = tracer.Track("Bob")
 	}
 	start := time.Now()
+	var offElapsed time.Duration
+	var offBytes int64
+	if precompute {
+		planQ, err := queries.PlanFor(spec, db)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secyan: precompute: %v\n", err)
+			os.Exit(1)
+		}
+		_, _, err = mpc.Run2PC(alice, bob,
+			func(p *mpc.Party) (*core.Trace, error) { return core.Precompute(context.Background(), p, planQ) },
+			func(p *mpc.Party) (*core.Trace, error) { return core.Precompute(context.Background(), p, planQ) },
+		)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "secyan: precompute: %v\n", err)
+			os.Exit(1)
+		}
+		offElapsed = time.Since(start)
+		offBytes = alice.Conn.Stats().TotalBytes()
+	}
 	res, _, err := mpc.Run2PC(alice, bob,
 		func(p *mpc.Party) (*relation.Relation, error) { return spec.Secure(p, db) },
 		func(p *mpc.Party) (*relation.Relation, error) { return spec.Secure(p, db) },
@@ -169,6 +190,11 @@ func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int, 
 	st := alice.Conn.Stats()
 	fmt.Printf("\nsecure run: %.2fs, %.2f MB exchanged, %d messages, %d rounds\n",
 		elapsed.Seconds(), float64(st.TotalBytes())/1e6, st.MessagesSent+st.MessagesRecv, st.Rounds)
+	if precompute {
+		fmt.Printf("  offline phase: %.2fs, %.2f MB; online phase: %.2fs, %.2f MB\n",
+			offElapsed.Seconds(), float64(offBytes)/1e6,
+			(elapsed - offElapsed).Seconds(), float64(st.TotalBytes()-offBytes)/1e6)
+	}
 
 	plain, err := spec.Plain(db, ring.Bits)
 	if err == nil {
@@ -176,7 +202,7 @@ func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int, 
 	}
 }
 
-func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, listen, connect string, maxRows int, analyze bool, tracer *obs.Tracer) {
+func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, listen, connect string, maxRows int, analyze, precompute bool, tracer *obs.Tracer) {
 	var conn transport.Conn
 	var err error
 	var r mpc.Role
@@ -215,6 +241,21 @@ func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, liste
 		p.Track = tracer.Track(r.String())
 	}
 	start := time.Now()
+	var offElapsed time.Duration
+	var offBytes int64
+	if precompute {
+		planQ, perr := queries.PlanFor(spec, db)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "secyan: precompute: %v\n", perr)
+			os.Exit(1)
+		}
+		if _, perr = core.Precompute(context.Background(), p, planQ); perr != nil {
+			fmt.Fprintf(os.Stderr, "secyan: precompute: %v\n", perr)
+			os.Exit(1)
+		}
+		offElapsed = time.Since(start)
+		offBytes = conn.Stats().TotalBytes()
+	}
 	res, err := spec.Secure(p, db)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "secyan: %v\n", err)
@@ -232,6 +273,11 @@ func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, liste
 	st := conn.Stats()
 	fmt.Printf("secure run: %.2fs, %.2f MB exchanged, %d rounds\n",
 		elapsed.Seconds(), float64(st.TotalBytes())/1e6, st.Rounds)
+	if precompute {
+		fmt.Printf("  offline phase: %.2fs, %.2f MB; online phase: %.2fs, %.2f MB\n",
+			offElapsed.Seconds(), float64(offBytes)/1e6,
+			(elapsed - offElapsed).Seconds(), float64(st.TotalBytes()-offBytes)/1e6)
+	}
 }
 
 func printResult(res *relation.Relation, maxRows int) {

@@ -17,12 +17,14 @@
 package benchmark
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
 	"time"
 
+	"secyan/internal/core"
 	"secyan/internal/gcbaseline"
 	"secyan/internal/mpc"
 	"secyan/internal/obs"
@@ -53,6 +55,14 @@ type Point struct {
 	Bytes          float64 `json:"bytes"`
 	Extrapolated   bool    `json:"extrapolated,omitempty"`
 	OutputRows     int     `json:"output_rows,omitempty"`
+	// OfflineSeconds, OnlineSeconds and OfflineBytes split a measured
+	// secure run into its precomputable and latency-critical parts when
+	// Options.Precompute is set: offline covers base OTs, random-OT pool
+	// fills and ahead-of-time garbling; online is everything the querying
+	// parties must wait for. Seconds and Bytes always cover both phases.
+	OfflineSeconds float64 `json:"offline_seconds,omitempty"`
+	OnlineSeconds  float64 `json:"online_seconds,omitempty"`
+	OfflineBytes   float64 `json:"offline_bytes,omitempty"`
 	// HeapAllocDeltaBytes and TotalAllocDeltaBytes capture the Go
 	// allocator's view of a measured run: live-heap growth (negative when
 	// a collection ran mid-measurement) and cumulative bytes allocated.
@@ -106,6 +116,12 @@ type Options struct {
 	// runs: one "query@scale/party" track pair per run, exportable with
 	// Tracer.WriteChrome.
 	Tracer *obs.Tracer
+	// Precompute runs the plan-driven offline phase (core.Precompute)
+	// before each measured secure run and reports the offline/online
+	// split on the resulting point. Composed queries (Q8, Q9) execute
+	// the shape several times; only the first pass is primed, the rest
+	// fall back to the direct protocols.
+	Precompute bool
 }
 
 // DefaultOptions mirror the paper's setup at laptop-friendly scales.
@@ -244,9 +260,33 @@ func runSecure(spec queries.Spec, db *tpch.DB, scale float64, opt Options) (Poin
 		pc.Rounds += s.Rounds
 		pc.Seconds += s.Elapsed.Seconds()
 	}
+	// Start from a settled heap so one run's garbage (tens of MB of
+	// garbled tables) is not collected on a later run's clock.
+	runtime.GC()
 	var msBefore, msAfter runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
+	var offSeconds float64
+	var offBytes int64
+	if opt.Precompute {
+		planQ, err := queries.PlanFor(spec, db)
+		if err != nil {
+			return Point{}, fmt.Errorf("precompute plan shape: %w", err)
+		}
+		ctx := context.Background()
+		_, _, err = mpc.Run2PC(alice, bob,
+			func(p *mpc.Party) (*core.Trace, error) { return core.Precompute(ctx, p, planQ) },
+			func(p *mpc.Party) (*core.Trace, error) { return core.Precompute(ctx, p, planQ) },
+		)
+		if err != nil {
+			return Point{}, fmt.Errorf("precompute: %w", err)
+		}
+		// Collect the offline phase's garbage (IKNP matrices, circuit
+		// builders) on the offline clock, not under the online run.
+		runtime.GC()
+		offSeconds = time.Since(start).Seconds()
+		offBytes = alice.Conn.Stats().TotalBytes()
+	}
 	res, _, err := mpc.Run2PC(alice, bob,
 		func(p *mpc.Party) (*relation.Relation, error) { return spec.Secure(p, db) },
 		func(p *mpc.Party) (*relation.Relation, error) { return spec.Secure(p, db) },
@@ -261,6 +301,11 @@ func runSecure(spec queries.Spec, db *tpch.DB, scale float64, opt Options) (Poin
 		Bytes:      float64(st.TotalBytes()),
 		OutputRows: res.Len(),
 		Phases:     phases,
+	}
+	if opt.Precompute {
+		pt.OfflineSeconds = offSeconds
+		pt.OnlineSeconds = pt.Seconds - offSeconds
+		pt.OfflineBytes = float64(offBytes)
 	}
 	runtime.ReadMemStats(&msAfter)
 	pt.memDelta(&msBefore, &msAfter)

@@ -144,11 +144,19 @@ func (m *Matrix) SetRowBytes(r int, data []byte) {
 // RowBytes serializes row r to ceil(cols/8) little-endian bytes.
 func (m *Matrix) RowBytes(r int) []byte {
 	out := make([]byte, (m.Cols+7)/8)
-	row := m.Row(r)
-	for i := range out {
-		out[i] = byte(row[i/8] >> (8 * (uint(i) % 8)))
-	}
+	m.RowBytesInto(out, r)
 	return out
+}
+
+// RowBytesInto serializes row r into dst, which must hold at least
+// ceil(cols/8) bytes. It allocates nothing, so per-row loops can reuse a
+// stack buffer.
+func (m *Matrix) RowBytesInto(dst []byte, r int) {
+	row := m.Row(r)
+	n := (m.Cols + 7) / 8
+	for i := 0; i < n; i++ {
+		dst[i] = byte(row[i/8] >> (8 * (uint(i) % 8)))
+	}
 }
 
 // Transpose returns the cols×rows transpose of m, processed in 64×64

@@ -11,15 +11,21 @@ import (
 // obliviousness: both parties compute identical plans from public
 // parameters alone.
 
-// Format renders the plan as a table.
+// Format renders the plan as a table, including the per-step phase
+// split the precomputed schedule would achieve (offline = base OTs and
+// OT-extension matrices, online = the remainder plus derandomization
+// bits; see PlanStep).
 func (p *Plan) Format(w io.Writer) {
 	fmt.Fprintf(w, "root: %s; surviving nodes: %s; assumed OUT = %d\n",
 		p.Root, strings.Join(p.Remaining, ", "), p.EstOut)
-	fmt.Fprintf(w, "%-10s %-20s %-28s %10s %14s\n", "phase", "operator", "relation", "rows", "est. comm")
+	fmt.Fprintf(w, "%-10s %-20s %-28s %10s %14s %14s %14s\n",
+		"phase", "operator", "relation", "rows", "est. comm", "est. offline", "est. online")
 	for _, s := range p.Steps {
-		fmt.Fprintf(w, "%-10s %-20s %-28s %10d %14s\n", s.Phase, s.Op, s.Node, s.N, fmtBytes(s.EstBytes))
+		fmt.Fprintf(w, "%-10s %-20s %-28s %10d %14s %14s %14s\n", s.Phase, s.Op, s.Node, s.N,
+			fmtBytes(s.EstBytes), fmtBytes(s.EstOfflineBytes), fmtBytes(s.EstOnlineBytes))
 	}
-	fmt.Fprintf(w, "total estimated communication: %s\n", fmtBytes(p.EstBytes))
+	fmt.Fprintf(w, "total estimated communication: %s (precomputed: %s offline + %s online)\n",
+		fmtBytes(p.EstBytes), fmtBytes(p.EstOfflineBytes), fmtBytes(p.EstOnlineBytes))
 }
 
 func fmtBytes(b int64) string {

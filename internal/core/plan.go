@@ -41,6 +41,28 @@ const (
 	stepRevealAnnotations
 )
 
+// otMsgLen is the message width of every protocol-level OT batch: gc
+// input labels and oep/psi payload pairs are all 16 bytes.
+const otMsgLen = 16
+
+// preOT is one OT-extension batch a plan step will run, identified by
+// the sending role and the batch size. The sequence of preOTs across a
+// plan's steps is exactly the sequence of Send/Receive batches the
+// executor issues per direction, which is what lets Precompute fill the
+// random-OT pools so every online batch derandomizes a pooled one.
+type preOT struct {
+	sender mpc.Role
+	m      int
+}
+
+// preCirc is one garbled circuit a plan step will run. The build closure
+// defers construction to Precompute: planning stays cheap, and circuits
+// are only materialized when ahead-of-time garbling actually wants them.
+type preCirc struct {
+	garbler mpc.Role
+	build   func() *gc.Circuit
+}
+
 // PlanStep is one operator invocation in the plan.
 type PlanStep struct {
 	Phase string // setup | input | reduce | aggregate | semijoin | join | reveal
@@ -51,6 +73,14 @@ type PlanStep struct {
 	// directions). Join-phase steps scale with the (unknown) output size
 	// and use EstOut.
 	EstBytes int64
+	// EstOfflineBytes and EstOnlineBytes split the step's traffic under
+	// the precomputed schedule: offline moves the base OTs and the
+	// OT-extension correction matrices, online keeps everything else
+	// plus ⌈m/8⌉ derandomization bits per pooled batch (so the two may
+	// sum to slightly more than EstBytes). Without precomputation the
+	// whole step is online and EstBytes alone applies.
+	EstOfflineBytes int64
+	EstOnlineBytes  int64
 
 	// Executor fields, invisible to plan consumers: the step's action and
 	// its operands as node indices into the query's inputs.
@@ -61,6 +91,12 @@ type PlanStep struct {
 	sender      mpc.Role        // OT-setup direction: the role acting as OT sender
 	intoPending bool            // aggregate result feeds the next semijoin-into
 	final       bool            // reveal step skipped by RunShared
+
+	// Precompute demands: the OT batches and circuits this step will
+	// run, in execution order. Join-phase steps scale with the unknown
+	// output size and declare none.
+	preOTs   []preOT
+	preCircs []preCirc
 }
 
 // Estimate returns the step's predicted communication in bytes (both
@@ -76,6 +112,10 @@ type Plan struct {
 	Remaining []string
 	// EstBytes totals the step estimates.
 	EstBytes int64
+	// EstOfflineBytes and EstOnlineBytes total the per-step phase splits
+	// under the precomputed schedule (see PlanStep).
+	EstOfflineBytes int64
+	EstOnlineBytes  int64
 	// EstOut is the output-size assumption used for join-phase steps.
 	EstOut int
 
@@ -158,19 +198,38 @@ func compileQuery(q *Query, ringBits, estOut int) (*Plan, error) {
 		}
 	}
 
+	// The cost closures return the step's byte estimate together with its
+	// precompute demands: every OT batch (in execution order) and every
+	// garbled circuit the operator will run. The demands replay the exact
+	// dispatch logic of the operators (aggregate.go, semijoin.go,
+	// join.go), so Precompute can garble and fill pools from the plan
+	// alone, and the estimate arithmetic is untouched.
+
 	// aggCost prices one oblivious aggregation (π^⊕ or π¹): a bijective
 	// OEP aligning the shares with the holder's sort order plus the
 	// merge-gate chain. The §6.5 plain path is free.
-	aggCost := func(st nodeState, kind mergeKind) int64 {
+	aggCost := func(st nodeState, kind mergeKind) (int64, []preOT, []preCirc) {
 		if st.plain || st.n == 0 {
-			return 0
+			return 0, nil, nil
 		}
 		needOT[st.holder.Other()] = true
-		return oep.Cost(st.n, st.n, true) + mergeCost(st.n, ell, kind)
+		n := st.n
+		// The holder programs the OEP and evaluates the merge circuit, so
+		// the other party sends both batches: one OT per OEP gate, then
+		// the circuit's n·ℓ share bits and n−1 group-boundary bits.
+		ots := []preOT{
+			{sender: st.holder.Other(), m: oep.Gates(n, n, true)},
+			{sender: st.holder.Other(), m: n*(ell+1) - 1},
+		}
+		circs := []preCirc{{garbler: st.holder.Other(),
+			build: func() *gc.Circuit { return buildMergeCircuit(n, ell, kind) }}}
+		return oep.Cost(n, n, true) + mergeCost(n, ell, kind), ots, circs
 	}
 	// semijoinCost prices parent ⋈^⊗ child including the final product
 	// circuit, selecting the same alignment strategy SemijoinInto will.
-	semijoinCost := func(par, child nodeState) int64 {
+	semijoinCost := func(par, child nodeState) (int64, []preOT, []preCirc) {
+		var ots []preOT
+		var circs []preCirc
 		cost := mulCost(par.n, ell)
 		if par.n > 0 {
 			needOT[par.holder.Other()] = true
@@ -180,42 +239,74 @@ func compileQuery(q *Query, ringBits, estOut int) (*Plan, error) {
 		case len(child.schema.Attrs) == 0:
 			cost += oep.Cost(child.n, par.n, false)
 			needOT[par.holder.Other()] = true
+			ots = append(ots, preOT{par.holder.Other(), oep.Gates(child.n, par.n, false)})
 		case par.holder == child.holder:
 			cost += oep.Cost(child.n+1, par.n, false)
 			needOT[par.holder.Other()] = true
+			ots = append(ots, preOT{par.holder.Other(), oep.Gates(child.n+1, par.n, false)})
 		case child.plain:
+			pr := psi.NewParams(par.n, child.n)
 			if ell <= psi.IndexWidth(par.n, child.n) {
 				cost += psi.DirectCost(par.n, child.n, ell)
+				circs = append(circs, preCirc{child.holder,
+					func() *gc.Circuit { return psi.BuildDirectCircuitForEstimate(pr, ell) }})
+				ots = append(ots, preOT{child.holder, pr.B * 64})
 			} else {
 				cost += psi.IndexedCost(par.n, child.n, ell, false)
+				circs = append(circs, preCirc{child.holder,
+					func() *gc.Circuit { return psi.BuildClearIndexCircuitForEstimate(pr, ell) }})
+				ots = append(ots,
+					preOT{child.holder, pr.B * 64},
+					preOT{child.holder, oep.Gates(pr.N+pr.B, pr.B, false)})
 			}
-			cost += oep.Cost(psi.NewParams(par.n, child.n).B, par.n, false)
+			cost += oep.Cost(pr.B, par.n, false)
+			ots = append(ots, preOT{child.holder, oep.Gates(pr.B, par.n, false)})
 			needOT[par.holder.Other()] = true
 		default:
+			pr := psi.NewParams(par.n, child.n)
+			npb := pr.N + pr.B
 			cost += psi.IndexedCost(par.n, child.n, ell, true)
-			cost += oep.Cost(psi.NewParams(par.n, child.n).B, par.n, false)
+			cost += oep.Cost(pr.B, par.n, false)
 			needOT[par.holder.Other()] = true
 			// ξ1 runs with reversed roles: the child holder programs the
 			// permutation, so the parent holder is the OT sender.
 			needOT[par.holder] = true
+			ots = append(ots,
+				preOT{par.holder, oep.Gates(npb, npb, true)},
+				preOT{par.holder.Other(), pr.B * 64},
+				preOT{par.holder.Other(), oep.Gates(npb, pr.B, false)},
+				preOT{par.holder.Other(), oep.Gates(pr.B, par.n, false)})
+			circs = append(circs, preCirc{par.holder.Other(),
+				func() *gc.Circuit { return psi.BuildClearIndexCircuitForEstimate(pr, ell) }})
 		}
-		return cost
+		if par.n > 0 {
+			parN := par.n
+			circs = append(circs, preCirc{par.holder.Other(),
+				func() *gc.Circuit { return buildMulCircuit(parN, ell) }})
+			ots = append(ots, preOT{par.holder.Other(), 2 * par.n * ell})
+		}
+		return cost, ots, circs
 	}
 	// revealRowsCost prices the §6.3 step-1 reveal of one relation.
-	revealRowsCost := func(st nodeState) int64 {
+	revealRowsCost := func(st nodeState) (int64, []preOT, []preCirc) {
 		if st.n == 0 {
-			return 0
+			return 0, nil, nil
 		}
 		cols := len(st.schema.Attrs)
 		if st.plain {
 			if st.holder == mpc.Bob {
-				return int64(8 * st.n * cols)
+				return int64(8 * st.n * cols), nil, nil
 			}
-			return 0
+			return 0, nil, nil
 		}
 		needOT[mpc.Bob] = true
+		n := st.n
 		withRows := st.holder == mpc.Bob
-		return interpCost(st.n, func(m int) *gc.Circuit { return buildRevealCircuit(m, cols, ell, withRows) })
+		circs := []preCirc{{mpc.Bob,
+			func() *gc.Circuit { return buildRevealCircuit(n, cols, ell, withRows) }}}
+		ots := []preOT{{mpc.Bob, n * ell}}
+		cost := interpCost(n, func(m int) *gc.Circuit { return buildRevealCircuit(m, cols, ell, withRows) })
+		return cost, ots, circs
 	}
 
 	// Phase 1: Reduce (§6.4 step 1), replayed on public state.
@@ -243,14 +334,18 @@ func compileQuery(q *Query, ringBits, estOut int) (*Plan, error) {
 				break
 			}
 		}
+		cost, ots, circs := aggCost(state[i], mergeSum)
 		add(PlanStep{Phase: "reduce", Op: "aggregate", Node: q.Inputs[i].Name,
-			N: state[i].n, EstBytes: aggCost(state[i], mergeSum),
-			kind: stepAggregate, node: i, attrs: fPrime, intoPending: subset})
+			N: state[i].n, EstBytes: cost,
+			kind: stepAggregate, node: i, attrs: fPrime, intoPending: subset,
+			preOTs: ots, preCircs: circs})
 		state[i].schema = relation.MustSchema(fPrime...)
 		if subset {
+			cost, ots, circs := semijoinCost(state[parent], state[i])
 			add(PlanStep{Phase: "reduce", Op: "semijoin-into", Node: q.Inputs[i].Name + "→" + q.Inputs[parent].Name,
-				N: state[parent].n, EstBytes: semijoinCost(state[parent], state[i]),
-				kind: stepSemijoinInto, parent: parent})
+				N: state[parent].n, EstBytes: cost,
+				kind: stepSemijoinInto, parent: parent,
+				preOTs: ots, preCircs: circs})
 			state[parent].plain = false
 			removed[i] = true
 			childrenLeft[parent]--
@@ -304,9 +399,11 @@ func compileQuery(q *Query, ringBits, estOut int) (*Plan, error) {
 				keep = append(keep, a)
 			}
 		}
+		cost, ots, circs := aggCost(state[i], mergeSum)
 		add(PlanStep{Phase: "aggregate", Op: "aggregate", Node: q.Inputs[i].Name,
-			N: state[i].n, EstBytes: aggCost(state[i], mergeSum),
-			kind: stepAggregate, node: i, attrs: keep})
+			N: state[i].n, EstBytes: cost,
+			kind: stepAggregate, node: i, attrs: keep,
+			preOTs: ots, preCircs: circs})
 		state[i].schema = relation.MustSchema(keep...)
 	}
 
@@ -314,23 +411,29 @@ func compileQuery(q *Query, ringBits, estOut int) (*Plan, error) {
 		// Single-survivor shortcut (§8.1): reveal rows and annotations.
 		r := remaining[0]
 		plan.singleNode = r
+		cost, ots, circs := revealRowsCost(state[r])
 		add(PlanStep{Phase: "reveal", Op: "reveal-relation", Node: q.Inputs[r].Name,
-			N: state[r].n, EstBytes: revealRowsCost(state[r]) + int64(8*state[r].n),
-			kind: stepRevealRelation, node: r, final: true})
+			N: state[r].n, EstBytes: cost + int64(8*state[r].n),
+			kind: stepRevealRelation, node: r, final: true,
+			preOTs: ots, preCircs: circs})
 		return plan.seal(steps, needOT), nil
 	}
 
 	// Phase 2: Semijoin — π¹ on the filter side plus the semijoin itself.
 	semijoin := func(target, by int) {
 		shared := state[target].schema.Intersect(state[by].schema)
+		cost, ots, circs := aggCost(state[by], mergeOr)
 		add(PlanStep{Phase: "semijoin", Op: "project-one", Node: q.Inputs[by].Name,
-			N: state[by].n, EstBytes: aggCost(state[by], mergeOr),
-			kind: stepProjectOne, node: by, attrs: shared})
+			N: state[by].n, EstBytes: cost,
+			kind: stepProjectOne, node: by, attrs: shared,
+			preOTs: ots, preCircs: circs})
 		ind := nodeState{schema: relation.MustSchema(shared...), n: state[by].n,
 			plain: state[by].plain, holder: state[by].holder}
+		cost, ots, circs = semijoinCost(state[target], ind)
 		add(PlanStep{Phase: "semijoin", Op: "semijoin-into", Node: q.Inputs[by].Name + "→" + q.Inputs[target].Name,
-			N: state[target].n, EstBytes: semijoinCost(state[target], ind),
-			kind: stepSemijoinInto, parent: target})
+			N: state[target].n, EstBytes: cost,
+			kind: stepSemijoinInto, parent: target,
+			preOTs: ots, preCircs: circs})
 		state[target].plain = false
 	}
 	for _, i := range remaining {
@@ -352,9 +455,11 @@ func compileQuery(q *Query, ringBits, estOut int) (*Plan, error) {
 	plan.joinOrder = order
 	joinLabel := strings.Join(plan.Remaining, "⋈")
 	for _, i := range order {
+		cost, ots, circs := revealRowsCost(state[i])
 		add(PlanStep{Phase: "join", Op: "reveal-rows", Node: q.Inputs[i].Name,
-			N: state[i].n, EstBytes: revealRowsCost(state[i]),
-			kind: stepRevealRows, node: i})
+			N: state[i].n, EstBytes: cost,
+			kind: stepRevealRows, node: i,
+			preOTs: ots, preCircs: circs})
 	}
 	add(PlanStep{Phase: "join", Op: "local-join", Node: joinLabel,
 		N: estOut, EstBytes: 8, kind: stepLocalJoin})
@@ -388,7 +493,23 @@ func (p *Plan) seal(steps []PlanStep, needOT [2]bool) *Plan {
 	p.Steps = append(all, steps...)
 	p.EstBytes = 0
 	for i := range p.Steps {
-		p.EstBytes += p.Steps[i].EstBytes
+		s := &p.Steps[i]
+		p.EstBytes += s.EstBytes
+		// Phase split: base OTs move entirely offline; for every other
+		// step, offline carries its OT batches' correction matrices and
+		// online keeps the remainder plus the derandomization bits.
+		if s.kind == stepOTSetup {
+			s.EstOfflineBytes = s.EstBytes
+		} else {
+			var saved int64
+			for _, d := range s.preOTs {
+				s.EstOfflineBytes += ot.ExtOfflineCost(d.m)
+				saved += ot.ExtCost(d.m, otMsgLen) - ot.ExtOnlineCost(d.m, otMsgLen)
+			}
+			s.EstOnlineBytes = s.EstBytes - saved
+		}
+		p.EstOfflineBytes += s.EstOfflineBytes
+		p.EstOnlineBytes += s.EstOnlineBytes
 	}
 	return p
 }

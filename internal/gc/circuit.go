@@ -84,6 +84,10 @@ type Circuit struct {
 // tables.
 func (c *Circuit) TableBlocks() int { return 2*c.NumAnd + c.NumAndG }
 
+// Prepare forces construction of the cached parallel execution schedule,
+// letting precomputation pay the one-time cost off the critical path.
+func (c *Circuit) Prepare() { c.scheduleOf() }
+
 // Builder constructs circuits. The zero value is not usable; call
 // NewBuilder.
 type Builder struct {

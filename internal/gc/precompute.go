@@ -1,0 +1,142 @@
+package gc
+
+import (
+	"fmt"
+
+	"secyan/internal/obs"
+	"secyan/internal/ot"
+	"secyan/internal/prf"
+	"secyan/internal/transport"
+)
+
+// This file implements ahead-of-time garbling. A circuit whose shape is
+// known from the plan is garbled offline with every garbler-private bit
+// set to zero; when the real private bits arrive, applyPrivate rewrites
+// the garbled material in place with XORs only — no re-hashing — so the
+// expensive 4-hashes-per-AND garbling kernel moves entirely off the
+// online critical path.
+//
+// Why this is possible: free-XOR garbling represents the one-label of a
+// wire as zeroLabel ⊕ Δ. Flipping a private bit only swaps which of the
+// two labels is "zero" on the wires it feeds (a flip that propagates
+// through the circuit as f_out = f_a ⊕ f_b for XOR and so on), and the
+// half-gates table entries change by exactly f·Δ. Both effects are
+// computable from the offline labels alone, and — because garble() draws
+// its randomness in a private-independent order — the corrected material
+// is byte-identical to what a direct garble of the same seed and true
+// private bits would have produced. The wire format therefore does not
+// change at all; precompute_test.go pins this equality.
+
+var mCircuitsCorrected = obs.NewCounter("secyan_gc_circuits_corrected_total", "Pre-garbled circuits specialized to their private bits online.")
+
+// PreGarbled is a circuit garbled ahead of time, waiting for its online
+// inputs. It is single-use: RunOnline consumes the garbled material.
+type PreGarbled struct {
+	C  *Circuit
+	gb *garbled
+}
+
+// GarbleAhead garbles c before its inputs or private bits are known.
+// Pure computation — nothing touches the network until RunOnline.
+func GarbleAhead(c *Circuit) *PreGarbled {
+	zero := make([]bool, c.NumPrivate)
+	return &PreGarbled{C: c, gb: garble(c, prf.NewPRG(prf.RandomSeed()), zero)}
+}
+
+// PreEval is the evaluator's half of ahead-of-time work: the circuit with
+// its parallel evaluation schedule already built.
+type PreEval struct {
+	C *Circuit
+}
+
+// PrepareEval forces the one-time schedule construction of c offline so
+// the online evaluate call starts hashing immediately.
+func PrepareEval(c *Circuit) *PreEval {
+	c.Prepare()
+	return &PreEval{C: c}
+}
+
+// SameShape reports whether two circuits have identical dimensions. The
+// operators build circuits deterministically from public cardinalities,
+// so dimension equality is how the runtime recognizes that a pre-built
+// circuit is the one the current step would have built.
+func SameShape(a, b *Circuit) bool {
+	return a.NumWires == b.NumWires &&
+		len(a.Gates) == len(b.Gates) &&
+		a.NumAnd == b.NumAnd &&
+		a.NumAndG == b.NumAndG &&
+		a.NumPrivate == b.NumPrivate &&
+		a.Const0 == b.Const0 &&
+		len(a.GarblerInputs) == len(b.GarblerInputs) &&
+		len(a.EvalInputs) == len(b.EvalInputs) &&
+		len(a.EvalOutputs) == len(b.EvalOutputs) &&
+		len(a.GarblerOutputs) == len(b.GarblerOutputs)
+}
+
+// applyPrivate specializes zero-private garbled material to the true
+// private bits. It XORs f·Δ into the affected table entries in place and
+// returns the per-wire flip bits f, which finishGarbler uses to translate
+// label LSBs into the corrected decode bits. One serial sweep of boolean
+// and XOR operations; c.Gates is topologically ordered, so each gate sees
+// its input flips resolved.
+func applyPrivate(c *Circuit, gb *garbled, priv []bool) []bool {
+	sp := obs.Begin("gc", "gc.correct")
+	defer sp.EndN(int64(len(c.Gates)))
+	mCircuitsCorrected.Inc()
+	sched := c.scheduleOf()
+	flips := make([]bool, c.NumWires)
+	for gi, gate := range c.Gates {
+		switch gate.Kind {
+		case GateXOR:
+			flips[gate.Out] = flips[gate.A] != flips[gate.B]
+		case GateNOT:
+			flips[gate.Out] = flips[gate.A]
+		case GateXORG:
+			flips[gate.Out] = flips[gate.A] != priv[gate.B]
+		case GateAND:
+			alpha := flips[gate.A]
+			beta := flips[gate.B]
+			pa := gb.labels[gate.A].LSB() == 1
+			pb := gb.labels[gate.B].LSB() == 1
+			ti := sched.table[gi]
+			if beta {
+				gb.tables[ti] = prf.XORBlockValue(gb.tables[ti], gb.delta)
+			}
+			if alpha {
+				gb.tables[ti+1] = prf.XORBlockValue(gb.tables[ti+1], gb.delta)
+			}
+			flips[gate.Out] = (pa && beta) != (alpha && (pb != beta))
+		case GateANDG:
+			p := priv[gate.B]
+			alpha := flips[gate.A]
+			if p {
+				ti := sched.table[gi]
+				gb.tables[ti] = prf.XORBlockValue(gb.tables[ti], gb.delta)
+			}
+			pa := gb.labels[gate.A].LSB() == 1
+			flips[gate.Out] = p && (pa != alpha)
+		}
+	}
+	return flips
+}
+
+// RunOnline runs the thin online step of a pre-garbled circuit: apply the
+// private-bit corrections, then the standard garbler message exchange
+// (tables ‖ labels ‖ decode bits, input-label OTs, masked outputs). The
+// bytes on the wire are exactly those RunGarbler would send.
+func (pg *PreGarbled) RunOnline(conn transport.Conn, otSend *ot.Sender, inputs, priv []bool) ([]bool, error) {
+	c := pg.C
+	if pg.gb == nil {
+		return nil, fmt.Errorf("gc: pre-garbled circuit already consumed")
+	}
+	if len(inputs) != len(c.GarblerInputs) {
+		return nil, fmt.Errorf("gc: garbler got %d input bits, want %d", len(inputs), len(c.GarblerInputs))
+	}
+	if len(priv) != c.NumPrivate {
+		return nil, fmt.Errorf("gc: garbler got %d private bits, want %d", len(priv), c.NumPrivate)
+	}
+	gb := pg.gb
+	pg.gb = nil // single-use: applyPrivate mutates the tables
+	flips := applyPrivate(c, gb, priv)
+	return finishGarbler(conn, otSend, c, gb, inputs, flips)
+}

@@ -1,0 +1,171 @@
+package gc
+
+import (
+	"math/rand"
+	"testing"
+
+	"secyan/internal/ot"
+	"secyan/internal/prf"
+	"secyan/internal/transport"
+)
+
+// correctionCircuit exercises every gate kind, with garbler-private bits
+// feeding XORG and ANDG gates at several depths so flips have to
+// propagate through XOR/NOT/AND chains.
+func correctionCircuit() *Circuit {
+	b := NewBuilder()
+	g := b.GarblerInputWord(8)
+	e := b.EvalInputWord(8)
+	p := b.PrivateWord(8)
+	q := b.PrivateWord(8)
+	eq := b.EqPrivate(e, p)           // XORG into an AND tree
+	sel := b.ANDGWordBit(q, eq)       // ANDG off a deep wire
+	sum := b.Add(b.XORGWord(e, p), g) // XORG into ripple-carry ANDs
+	prod := b.Mul(sum, b.Add(sel, e))
+	out := b.Add(prod, b.MuxWord(eq, sum, sel))
+	b.OutputWordToEval(out)
+	b.OutputWordToGarbler(b.Sub(out, g))
+	b.OutputToEval(b.Not(eq))
+	return b.Build()
+}
+
+func randBits(rng *rand.Rand, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = rng.Intn(2) == 1
+	}
+	return out
+}
+
+// TestAppliedCorrectionsMatchDirectGarble pins the core precomputation
+// property: garbling with zero privates and then applying the true
+// private bits yields material byte-identical to a direct garble with
+// the same randomness — tables equal, and every wire label equal up to
+// the computed flip times Δ. This is what makes the pre-garbled online
+// path emit the exact bytes RunGarbler would.
+func TestAppliedCorrectionsMatchDirectGarble(t *testing.T) {
+	c := correctionCircuit()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		priv := randBits(rng, c.NumPrivate)
+		seed := prf.Seed{byte(trial), 0x5e}
+
+		direct := garble(c, prf.NewPRG(seed), priv)
+		off := garble(c, prf.NewPRG(seed), make([]bool, c.NumPrivate))
+		flips := applyPrivate(c, off, priv)
+
+		if direct.delta != off.delta {
+			t.Fatal("delta depends on private bits")
+		}
+		for i := range direct.tables {
+			if direct.tables[i] != off.tables[i] {
+				t.Fatalf("trial %d: corrected table block %d differs from direct garble", trial, i)
+			}
+		}
+		for w := 0; w < c.NumWires; w++ {
+			got := off.labels[w]
+			if flips[w] {
+				got = prf.XORBlockValue(got, off.delta)
+			}
+			if got != direct.labels[w] {
+				t.Fatalf("trial %d: wire %d zero-label differs (flip=%v)", trial, w, flips[w])
+			}
+		}
+	}
+}
+
+// run2PCPre mirrors run2PC but garbles ahead of time on the garbler side
+// and prepares the evaluator's schedule offline.
+func run2PCPre(t testing.TB, c *Circuit, garblerBits, evalBits, priv []bool) ([]bool, []bool) {
+	t.Helper()
+	a, b := transport.Pair()
+	defer a.Close()
+	defer b.Close()
+
+	pg := GarbleAhead(c) // offline: before inputs exist
+	pe := PrepareEval(c)
+
+	type gres struct {
+		out []bool
+		err error
+	}
+	ch := make(chan gres, 1)
+	go func() {
+		snd, err := ot.NewSender(a)
+		if err != nil {
+			ch <- gres{nil, err}
+			return
+		}
+		out, err := pg.RunOnline(a, snd, garblerBits, priv)
+		ch <- gres{out, err}
+	}()
+	rcv, err := ot.NewReceiver(b)
+	if err != nil {
+		t.Fatalf("ot receiver: %v", err)
+	}
+	evalOut, err := RunEvaluator(b, rcv, pe.C, evalBits)
+	if err != nil {
+		t.Fatalf("RunEvaluator: %v", err)
+	}
+	g := <-ch
+	if g.err != nil {
+		t.Fatalf("RunOnline: %v", g.err)
+	}
+	return evalOut, g.out
+}
+
+// TestPreGarbledProtocolMatchesPlain runs the pre-garbled online protocol
+// end to end and compares both parties' outputs against the plaintext
+// reference evaluation.
+func TestPreGarbledProtocolMatchesPlain(t *testing.T) {
+	c := correctionCircuit()
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 8; trial++ {
+		gBits := randBits(rng, len(c.GarblerInputs))
+		eBits := randBits(rng, len(c.EvalInputs))
+		priv := randBits(rng, c.NumPrivate)
+
+		wantEval, wantGarb, err := c.EvalPlain(gBits, eBits, priv)
+		if err != nil {
+			t.Fatalf("EvalPlain: %v", err)
+		}
+		gotEval, gotGarb := run2PCPre(t, c, gBits, eBits, priv)
+		for i := range wantEval {
+			if gotEval[i] != wantEval[i] {
+				t.Fatalf("trial %d: evaluator output bit %d = %v, want %v", trial, i, gotEval[i], wantEval[i])
+			}
+		}
+		for i := range wantGarb {
+			if gotGarb[i] != wantGarb[i] {
+				t.Fatalf("trial %d: garbler output bit %d = %v, want %v", trial, i, gotGarb[i], wantGarb[i])
+			}
+		}
+	}
+}
+
+// TestPreGarbledSingleUse pins that consumed material cannot be replayed:
+// applyPrivate mutates the tables, so a second run would leak or corrupt.
+func TestPreGarbledSingleUse(t *testing.T) {
+	c := correctionCircuit()
+	pg := GarbleAhead(c)
+	pg.gb = nil // simulate consumption without a network peer
+	if _, err := pg.RunOnline(nil, nil, make([]bool, len(c.GarblerInputs)), make([]bool, c.NumPrivate)); err == nil {
+		t.Fatal("RunOnline accepted already-consumed material")
+	}
+}
+
+// TestSameShape covers the dimension fingerprint used by the session
+// queues to match pre-built circuits to runtime ones.
+func TestSameShape(t *testing.T) {
+	a := correctionCircuit()
+	b := correctionCircuit()
+	if !SameShape(a, b) {
+		t.Fatal("identical construction must have the same shape")
+	}
+	nb := NewBuilder()
+	w := nb.EvalInputWord(8)
+	nb.OutputWordToEval(w)
+	if SameShape(a, nb.Build()) {
+		t.Fatal("different circuits must not share a shape")
+	}
+}

@@ -28,36 +28,57 @@ func RunGarbler(conn transport.Conn, otSend *ot.Sender, c *Circuit, inputs, priv
 		return nil, fmt.Errorf("gc: garbler got %d private bits, want %d", len(priv), c.NumPrivate)
 	}
 	gb := garble(c, prf.NewPRG(prf.RandomSeed()), priv)
+	return finishGarbler(conn, otSend, c, gb, inputs, nil)
+}
 
-	msg := make([]byte, 0,
-		16*len(gb.tables)+16+16*len(c.GarblerInputs)+(len(c.EvalOutputs)+7)/8)
-	for _, t := range gb.tables {
-		msg = append(msg, t[:]...)
-	}
-	msg = append(msg, gb.labels[c.Const0][:]...)
+// finishGarbler runs the garbler's message exchange over already-garbled
+// material. flips are the per-wire label-meaning corrections from
+// applyPrivate (nil on the direct path, where labels already encode the
+// true private bits); they adjust only how LSBs decode, never the labels
+// or tables themselves, so both paths emit identical message layouts.
+func finishGarbler(conn transport.Conn, otSend *ot.Sender, c *Circuit, gb *garbled, inputs []bool, flips []bool) ([]bool, error) {
+	// One exactly-sized message: tables ‖ const label ‖ active garbler
+	// input labels ‖ decode bits. The table region — nearly all of the
+	// bytes — lands with a single bulk copy.
+	tablesLen := 16 * len(gb.tables)
+	msg := make([]byte, tablesLen+16+16*len(c.GarblerInputs)+(len(c.EvalOutputs)+7)/8)
+	copy(msg, prf.BlockBytes(gb.tables))
+	off := tablesLen
+	copy(msg[off:], gb.labels[c.Const0][:])
+	off += 16
 	for i, w := range c.GarblerInputs {
 		l := gb.labels[w]
 		if inputs[i] {
 			l = prf.XORBlockValue(l, gb.delta)
 		}
-		msg = append(msg, l[:]...)
+		copy(msg[off:], l[:])
+		off += 16
 	}
 	decode := bitutil.NewVector(len(c.EvalOutputs))
 	for i, w := range c.EvalOutputs {
-		decode.Set(i, gb.labels[w].LSB() == 1)
+		bit := gb.labels[w].LSB() == 1
+		if flips != nil && flips[w] {
+			bit = !bit
+		}
+		decode.Set(i, bit)
 	}
-	msg = append(msg, decode.Bytes()...)
+	copy(msg[off:], decode.Bytes())
 	if err := conn.Send(msg); err != nil {
 		return nil, err
 	}
 
-	// Evaluator input labels via OT.
+	// Evaluator input labels via OT, the pairs flattened over one
+	// contiguous backing array.
 	if len(c.EvalInputs) > 0 {
+		back := make([]byte, 32*len(c.EvalInputs))
 		pairs := make([][2][]byte, len(c.EvalInputs))
 		for i, w := range c.EvalInputs {
-			l0 := gb.labels[w]
-			l1 := prf.XORBlockValue(l0, gb.delta)
-			pairs[i] = [2][]byte{l0[:], l1[:]}
+			p0 := back[32*i : 32*i+16 : 32*i+16]
+			p1 := back[32*i+16 : 32*i+32 : 32*i+32]
+			copy(p0, gb.labels[w][:])
+			l1 := prf.XORBlockValue(gb.labels[w], gb.delta)
+			copy(p1, l1[:])
+			pairs[i] = [2][]byte{p0, p1}
 		}
 		if err := otSend.Send(pairs); err != nil {
 			return nil, err
@@ -65,7 +86,7 @@ func RunGarbler(conn transport.Conn, otSend *ot.Sender, c *Circuit, inputs, priv
 	}
 
 	// Garbler outputs: the evaluator returns lsb(active); unmask with
-	// lsb(zero label).
+	// lsb(zero label), corrected by the wire's flip bit.
 	if len(c.GarblerOutputs) == 0 {
 		return nil, nil
 	}
@@ -76,7 +97,11 @@ func RunGarbler(conn transport.Conn, otSend *ot.Sender, c *Circuit, inputs, priv
 	masked := bitutil.VectorFromBytes(maskedMsg, len(c.GarblerOutputs))
 	out := make([]bool, len(c.GarblerOutputs))
 	for i, w := range c.GarblerOutputs {
-		out[i] = masked.Get(i) != (gb.labels[w].LSB() == 1)
+		bit := gb.labels[w].LSB() == 1
+		if flips != nil && flips[w] {
+			bit = !bit
+		}
+		out[i] = masked.Get(i) != bit
 	}
 	return out, nil
 }
@@ -97,11 +122,8 @@ func RunEvaluator(conn transport.Conn, otRecv *ot.Receiver, c *Circuit, inputs [
 		return nil, fmt.Errorf("gc: garbled message has %d bytes, want %d", len(msg), wantLen)
 	}
 	tables := make([]prf.Block, c.TableBlocks())
-	off := 0
-	for i := range tables {
-		copy(tables[i][:], msg[off:off+16])
-		off += 16
-	}
+	copy(prf.BlockBytes(tables), msg[:16*len(tables)])
+	off := 16 * len(tables)
 	active := make([]prf.Block, c.NumWires)
 	copy(active[c.Const0][:], msg[off:off+16])
 	off += 16

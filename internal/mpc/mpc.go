@@ -71,11 +71,20 @@ type Party struct {
 // are pinned to the raw conn (not a context wrapper) so their stream
 // positions stay aligned with the peer across composed runs; a
 // cancelled context still unblocks them because its watcher closes the
-// underlying conn.
+// underlying conn. The precomputed-circuit queues live here for the same
+// reason: material staged by core.Precompute under one context must be
+// visible to the RunContext that consumes it.
 type session struct {
 	raw    transport.Conn
 	otSend *ot.Sender   // this party as OT sender
 	otRecv *ot.Receiver // this party as OT receiver
+
+	// FIFO queues of ahead-of-time garbled material, consumed by
+	// RunCircuit in plan order. No mutex: the protocol itself is
+	// single-threaded per party, and Precompute joins its background
+	// garbling goroutine before enqueueing.
+	preGarb []*gc.PreGarbled
+	preEval []*gc.PreEval
 }
 
 // NewParty creates a session context. Ring defaults to share.Default when
@@ -141,22 +150,86 @@ func (p *Party) OTReceiver() (*ot.Receiver, error) {
 	return st.otRecv, nil
 }
 
+// Circuit-queue metrics, mirroring the OT pool's fill/hit/miss triple.
+var (
+	mPreCircHits   = obs.NewCounter("secyan_mpc_precircuit_hit_total", "Circuits served from the ahead-of-time garbling queues.")
+	mPreCircMisses = obs.NewCounter("secyan_mpc_precircuit_miss_total", "Circuits run on the direct path (queue empty or shape mismatch).")
+)
+
+// EnqueuePreGarbled appends ahead-of-time garbled material for a circuit
+// this party will garble. Queued entries must arrive in the order the
+// protocol will run the circuits.
+func (p *Party) EnqueuePreGarbled(pg *gc.PreGarbled) {
+	st := p.state()
+	st.preGarb = append(st.preGarb, pg)
+}
+
+// EnqueuePreEval appends a schedule-prepared circuit this party will
+// evaluate.
+func (p *Party) EnqueuePreEval(pe *gc.PreEval) {
+	st := p.state()
+	st.preEval = append(st.preEval, pe)
+}
+
+// ClearPrecomputed drops all staged circuits and both OT pools. Both
+// parties must clear at the same protocol point, or pooled OT batches
+// will desynchronize.
+func (p *Party) ClearPrecomputed() {
+	st := p.state()
+	st.preGarb = nil
+	st.preEval = nil
+	if st.otSend != nil {
+		st.otSend.Pool().Clear()
+	}
+	if st.otRecv != nil {
+		st.otRecv.Pool().Clear()
+	}
+}
+
 // RunCircuit evaluates circuit c with the given party acting as garbler.
 // myInputs are this party's input bits (garbler inputs if this party
 // garbles, evaluator inputs otherwise); the returned bits are the outputs
 // destined to this party.
+//
+// When the head of this party's precomputed queue matches c's shape, the
+// circuit runs on its thin online path (private-bit corrections plus the
+// standard exchange); the wire format is identical either way, so the
+// queues need no cross-party agreement. A shape mismatch — execution has
+// diverged from the precomputed plan — drops the rest of the queue and
+// falls back to the direct path, which is always correct.
 func (p *Party) RunCircuit(c *gc.Circuit, myInputs, myPriv []bool, garbler Role) ([]bool, error) {
+	st := p.state()
 	if p.Role == garbler {
 		snd, err := p.OTSender()
 		if err != nil {
 			return nil, err
 		}
+		if len(st.preGarb) > 0 {
+			pg := st.preGarb[0]
+			if gc.SameShape(pg.C, c) {
+				st.preGarb = st.preGarb[1:]
+				mPreCircHits.Inc()
+				return pg.RunOnline(p.Conn, snd, myInputs, myPriv)
+			}
+			st.preGarb = nil
+		}
+		mPreCircMisses.Inc()
 		return gc.RunGarbler(p.Conn, snd, c, myInputs, myPriv)
 	}
 	rcv, err := p.OTReceiver()
 	if err != nil {
 		return nil, err
 	}
+	if len(st.preEval) > 0 {
+		pe := st.preEval[0]
+		if gc.SameShape(pe.C, c) {
+			st.preEval = st.preEval[1:]
+			mPreCircHits.Inc()
+			return gc.RunEvaluator(p.Conn, rcv, pe.C, myInputs)
+		}
+		st.preEval = nil
+	}
+	mPreCircMisses.Inc()
 	return gc.RunEvaluator(p.Conn, rcv, c, myInputs)
 }
 

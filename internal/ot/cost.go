@@ -30,3 +30,27 @@ func ExtCost(m, msgLen int) int64 {
 	mPad := (m + 63) &^ 63
 	return int64(kappa/8)*int64(mPad) + 2*int64(m)*int64(msgLen)
 }
+
+// ExtOfflineCost returns the bytes a precomputed (FillRandom) batch of m
+// OTs moves during the offline phase: only the receiver's κ×mPad
+// correction matrix. Message width is irrelevant offline — pads are
+// derived locally and kept.
+func ExtOfflineCost(m int) int64 {
+	if m == 0 {
+		return 0
+	}
+	mPad := (m + 63) &^ 63
+	return int64(kappa/8) * int64(mPad)
+}
+
+// ExtOnlineCost returns the bytes the derandomized online exchange moves
+// for a precomputed batch: ⌈m/8⌉ packed correction bits from the
+// receiver plus the sender's usual 2m ciphertexts. Summed with
+// ExtOfflineCost this exceeds ExtCost by exactly the correction bits —
+// the total additive overhead of precomputation.
+func ExtOnlineCost(m, msgLen int) int64 {
+	if m == 0 {
+		return 0
+	}
+	return int64((m+7)/8) + 2*int64(m)*int64(msgLen)
+}

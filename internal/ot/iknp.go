@@ -24,6 +24,7 @@ type Sender struct {
 	sRow    [kappa / 8]byte // s packed, XORed into q-rows for pad 1
 	streams []*prf.PRG      // PRG(k_i^{s_i}), one per column
 	idx     uint64          // global OT counter, for hash tweak freshness
+	pool    Pool            // precomputed random-OT batches (random.go)
 }
 
 // Receiver is the choosing endpoint of an IKNP OT-extension session.
@@ -32,6 +33,7 @@ type Receiver struct {
 	streams0 []*prf.PRG
 	streams1 []*prf.PRG
 	idx      uint64
+	pool     Pool
 }
 
 // NewSender runs the base-OT setup (acting as base-OT *receiver* with κ
@@ -85,16 +87,31 @@ func pad(domain uint64, row []byte, msgLen int) []byte {
 	return prf.HashToWidth(domain, msgLen, row)
 }
 
+// derivePad writes the len(dst)-byte pad of one OT instance into dst.
+// Pads of a digest or less derive without heap allocation; wider pads
+// (never used by the protocols, which cap at 16-byte labels) fall back
+// to the expanding hash. The cold branch hashes a copy of the row so
+// that row never escapes and callers can pass stack buffers.
+func derivePad(dst []byte, domain uint64, row []byte) {
+	if len(dst) <= 32 {
+		prf.HashInto(dst, domain, row)
+		return
+	}
+	rowCopy := append([]byte(nil), row...)
+	copy(dst, prf.HashToWidth(domain, len(dst), rowCopy))
+}
+
 // Receive performs len(choices) OTs, returning the chosen message of each
 // pair sent by the peer's matching Send call. All messages have msgLen
-// bytes.
+// bytes. When the pool holds a precomputed batch of matching dimensions
+// it is consumed by derandomization; otherwise the direct IKNP batch
+// runs. Both paths produce messages of identical distribution, so
+// callers never observe which one served them.
 func (r *Receiver) Receive(choices []bool, msgLen int) ([][]byte, error) {
 	m := len(choices)
 	if m == 0 {
 		return nil, nil
 	}
-	sp := obs.Begin("ot", "ot.ext.recv")
-	defer sp.EndN(int64(m))
 	var startT time.Time
 	if obs.Enabled() {
 		startT = time.Now()
@@ -104,6 +121,16 @@ func (r *Receiver) Receive(choices []bool, msgLen int) ([][]byte, error) {
 			mExtNs.Observe(time.Since(startT).Nanoseconds())
 		}()
 	}
+	if b := r.pool.take(m, msgLen); b != nil {
+		return r.receiveDerandomized(b, choices)
+	}
+	return r.receiveDirect(choices, msgLen)
+}
+
+func (r *Receiver) receiveDirect(choices []bool, msgLen int) ([][]byte, error) {
+	m := len(choices)
+	sp := obs.Begin("ot", "ot.ext.recv")
+	defer sp.EndN(int64(m))
 	mPad := (m + 63) &^ 63
 	rowBytes := mPad / 8
 
@@ -117,13 +144,50 @@ func (r *Receiver) Receive(choices []bool, msgLen int) ([][]byte, error) {
 	for i := m; i < mPad; i++ {
 		rv.Set(i, g.Bool())
 	}
-	rBytes := rv.Bytes()
 
-	// T matrix: column i (stored as row i of a κ×mPad matrix) is the
-	// PRG stream of seed k_i^0; u_i = t_i ⊕ PRG(k_i^1) ⊕ r.
-	//
-	// Each column owns its two PRG streams and a disjoint slice of uMsg,
-	// so the column expansion parallelizes with byte-identical output.
+	tt, err := r.expandColumns(rv.Bytes(), mPad, rowBytes)
+	if err != nil {
+		return nil, err
+	}
+
+	ct, err := r.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(ct) != 2*m*msgLen {
+		return nil, fmt.Errorf("ot: extension ciphertexts: got %d bytes, want %d", len(ct), 2*m*msgLen)
+	}
+	// OT instances are independent: instance j reads row j of Tᵀ and its
+	// own ciphertext slice and writes only out[j]. All outputs share one
+	// flat backing array and the pad is derived in place, so the loop
+	// performs no per-instance allocation.
+	out := make([][]byte, m)
+	outBack := make([]byte, m*msgLen)
+	parallel.For(m, 32, func(lo, hi int) {
+		var rowBuf [kappa / 8]byte
+		for j := lo; j < hi; j++ {
+			msg := outBack[j*msgLen : (j+1)*msgLen]
+			tt.RowBytesInto(rowBuf[:], j)
+			derivePad(msg, r.idx+uint64(j), rowBuf[:])
+			c := ct[2*j*msgLen : (2*j+1)*msgLen]
+			if choices[j] {
+				c = ct[(2*j+1)*msgLen : (2*j+2)*msgLen]
+			}
+			prf.XORBytes(msg, msg, c)
+			out[j] = msg
+		}
+	})
+	r.idx += uint64(mPad)
+	return out, nil
+}
+
+// expandColumns derives the T matrix from the base-OT streams, sends the
+// correction matrix u_i = t_i ⊕ PRG(k_i^1) ⊕ r, and returns Tᵀ whose
+// rows are the per-instance keys.
+//
+// Each column owns its two PRG streams and a disjoint slice of uMsg, so
+// the expansion parallelizes with byte-identical output.
+func (r *Receiver) expandColumns(rBytes []byte, mPad, rowBytes int) (*bitutil.Matrix, error) {
 	tm := bitutil.NewMatrix(kappa, mPad)
 	uMsg := make([]byte, kappa*rowBytes)
 	parallel.For(kappa, 8, func(lo, hi int) {
@@ -139,45 +203,17 @@ func (r *Receiver) Receive(choices []bool, msgLen int) ([][]byte, error) {
 	if err := r.conn.Send(uMsg); err != nil {
 		return nil, err
 	}
-
-	// Rows of Tᵀ are the per-instance keys.
-	tt := tm.Transpose()
-
-	ct, err := r.conn.Recv()
-	if err != nil {
-		return nil, err
-	}
-	if len(ct) != 2*m*msgLen {
-		return nil, fmt.Errorf("ot: extension ciphertexts: got %d bytes, want %d", len(ct), 2*m*msgLen)
-	}
-	// OT instances are independent: instance j reads row j of Tᵀ and its
-	// own ciphertext slice and writes only out[j].
-	out := make([][]byte, m)
-	parallel.For(m, 32, func(lo, hi int) {
-		for j := lo; j < hi; j++ {
-			p := pad(r.idx+uint64(j), tt.RowBytes(j), msgLen)
-			c := ct[2*j*msgLen : (2*j+1)*msgLen]
-			if choices[j] {
-				c = ct[(2*j+1)*msgLen : (2*j+2)*msgLen]
-			}
-			msg := make([]byte, msgLen)
-			prf.XORBytes(msg, c, p)
-			out[j] = msg
-		}
-	})
-	r.idx += uint64(mPad)
-	return out, nil
+	return tm.Transpose(), nil
 }
 
 // Send performs len(pairs) OTs as sender; pairs[j][c] is delivered iff the
-// receiver chose c. All messages must have equal length.
+// receiver chose c. All messages must have equal length. Like Receive, a
+// matching pooled batch short-circuits to the derandomized path.
 func (s *Sender) Send(pairs [][2][]byte) error {
 	m := len(pairs)
 	if m == 0 {
 		return nil
 	}
-	sp := obs.Begin("ot", "ot.ext.send")
-	defer sp.EndN(int64(m))
 	var startT time.Time
 	if obs.Enabled() {
 		startT = time.Now()
@@ -193,18 +229,56 @@ func (s *Sender) Send(pairs [][2][]byte) error {
 			return fmt.Errorf("ot: all messages must have length %d", msgLen)
 		}
 	}
+	if b := s.pool.take(m, msgLen); b != nil {
+		return s.sendDerandomized(b, pairs, msgLen)
+	}
+	return s.sendDirect(pairs, msgLen)
+}
+
+func (s *Sender) sendDirect(pairs [][2][]byte, msgLen int) error {
+	m := len(pairs)
+	sp := obs.Begin("ot", "ot.ext.send")
+	defer sp.EndN(int64(m))
 	mPad := (m + 63) &^ 63
 	rowBytes := mPad / 8
 
-	uMsg, err := s.conn.Recv()
+	qt, err := s.expandColumns(mPad, rowBytes)
 	if err != nil {
 		return err
 	}
-	if len(uMsg) != kappa*rowBytes {
-		return fmt.Errorf("ot: extension matrix: got %d bytes, want %d", len(uMsg), kappa*rowBytes)
+
+	// Instance j derives both pads from row j alone and writes the
+	// disjoint ciphertext slice ct[2j·msgLen : (2j+2)·msgLen]; pads land
+	// directly in the ciphertext buffer, so no per-instance allocation.
+	ct := make([]byte, 2*m*msgLen)
+	parallel.For(m, 32, func(lo, hi int) {
+		var rowBuf, qxs [kappa / 8]byte
+		for j := lo; j < hi; j++ {
+			qt.RowBytesInto(rowBuf[:], j)
+			c0 := ct[2*j*msgLen : (2*j+1)*msgLen]
+			c1 := ct[(2*j+1)*msgLen : (2*j+2)*msgLen]
+			derivePad(c0, s.idx+uint64(j), rowBuf[:])
+			prf.XORBytes(qxs[:], rowBuf[:], s.sRow[:])
+			derivePad(c1, s.idx+uint64(j), qxs[:])
+			prf.XORBytes(c0, c0, pairs[j][0])
+			prf.XORBytes(c1, c1, pairs[j][1])
+		}
+	})
+	s.idx += uint64(mPad)
+	return s.conn.Send(ct)
+}
+
+// expandColumns receives the peer's correction matrix, applies the secret
+// s correction per column, and returns Qᵀ whose rows are the instance
+// keys. Column i owns stream i and writes only row i of the Q matrix.
+func (s *Sender) expandColumns(mPad, rowBytes int) (*bitutil.Matrix, error) {
+	uMsg, err := s.conn.Recv()
+	if err != nil {
+		return nil, err
 	}
-	// Column expansion parallelizes as on the receiver side: column i owns
-	// stream i and writes only row i of the Q matrix.
+	if len(uMsg) != kappa*rowBytes {
+		return nil, fmt.Errorf("ot: extension matrix: got %d bytes, want %d", len(uMsg), kappa*rowBytes)
+	}
 	qm := bitutil.NewMatrix(kappa, mPad)
 	parallel.For(kappa, 8, func(lo, hi int) {
 		tmp := make([]byte, rowBytes)
@@ -218,22 +292,5 @@ func (s *Sender) Send(pairs [][2][]byte) error {
 			}
 		}
 	})
-	qt := qm.Transpose()
-
-	// Instance j derives both pads from row j alone and writes the
-	// disjoint ciphertext slice ct[2j·msgLen : (2j+2)·msgLen].
-	ct := make([]byte, 2*m*msgLen)
-	parallel.For(m, 32, func(lo, hi int) {
-		qxs := make([]byte, kappa/8)
-		for j := lo; j < hi; j++ {
-			row := qt.RowBytes(j)
-			p0 := pad(s.idx+uint64(j), row, msgLen)
-			prf.XORBytes(qxs, row, s.sRow[:])
-			p1 := pad(s.idx+uint64(j), qxs, msgLen)
-			prf.XORBytes(ct[2*j*msgLen:(2*j+1)*msgLen], pairs[j][0], p0)
-			prf.XORBytes(ct[(2*j+1)*msgLen:(2*j+2)*msgLen], pairs[j][1], p1)
-		}
-	})
-	s.idx += uint64(mPad)
-	return s.conn.Send(ct)
+	return qm.Transpose(), nil
 }

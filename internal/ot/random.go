@@ -1,0 +1,249 @@
+package ot
+
+import (
+	"fmt"
+	"sync"
+
+	"secyan/internal/bitutil"
+	"secyan/internal/obs"
+	"secyan/internal/parallel"
+	"secyan/internal/prf"
+)
+
+// This file implements Beaver-style OT precomputation on top of the IKNP
+// extension. FillRandom runs the input-independent half of an extension
+// batch ahead of time: the receiver draws random choice bits, both sides
+// expand the matrix and derive the per-instance pads, and only the
+// κ×mPad correction matrix crosses the wire. The resulting random OTs —
+// the sender holds pads (r⁰ⱼ, r¹ⱼ), the receiver holds (bⱼ, r^{bⱼ}ⱼ) —
+// wait in a Pool. A later Send/Receive call of matching dimensions is
+// then served by derandomization (Beaver 1995): the receiver sends one
+// correction bit dⱼ = cⱼ ⊕ bⱼ per instance and the sender replies with
+// the usual 2m ciphertexts, masking message k with r^{k⊕dⱼ}ⱼ, so that
+// the receiver's stored pad opens exactly the chosen one. The online
+// round structure is unchanged (receiver speaks first, one round trip),
+// costs ⌈m/8⌉ extra bytes, and uses no cryptography beyond XOR.
+
+// Pool metrics. Fills count offline work; hits/misses classify how online
+// batches were served (a miss is any batch that ran the direct protocol,
+// whether the pool was empty or held mismatched material).
+var (
+	mPoolFillBatches = obs.NewCounter("secyan_ot_pool_fill_batches_total", "Random-OT batches precomputed into pools (FillRandom calls).")
+	mPoolFillOTs     = obs.NewCounter("secyan_ot_pool_fill_total", "Random-OT instances precomputed into pools.")
+	mPoolHits        = obs.NewCounter("secyan_ot_pool_hit_total", "Extension batches served from a precomputed random-OT pool.")
+	mPoolMisses      = obs.NewCounter("secyan_ot_pool_miss_total", "Extension batches that ran the direct protocol (pool empty or mismatched).")
+)
+
+// randBatch is one precomputed random-OT batch. Each endpoint stores only
+// its own half; pads are flat m×msgLen arrays.
+type randBatch struct {
+	m      int
+	msgLen int
+	r0, r1 []byte // sender: the two random pads per instance
+	bits   []bool // receiver: random choice bits
+	rc     []byte // receiver: the pad of the chosen side, r^{bⱼ}ⱼ
+}
+
+// Pool is a FIFO of precomputed random-OT batches attached to a Sender or
+// Receiver. Batches are consumed strictly in fill order; because the two
+// endpoints fill and drain in protocol lockstep, their pools stay head-
+// aligned without any coordination messages.
+type Pool struct {
+	mu      sync.Mutex
+	batches []*randBatch
+}
+
+func (p *Pool) push(b *randBatch) {
+	p.mu.Lock()
+	p.batches = append(p.batches, b)
+	p.mu.Unlock()
+	mPoolFillBatches.Inc()
+	mPoolFillOTs.Add(int64(b.m))
+}
+
+// take pops the head batch when it matches the requested dimensions. A
+// non-empty pool whose head mismatches means the execution has diverged
+// from the precomputed plan; the remaining material can never line up
+// again, so it is dropped wholesale and the caller falls back to the
+// direct protocol. Both endpoints reach the same verdict because their
+// fill and drain sequences are mirror images.
+func (p *Pool) take(m, msgLen int) *randBatch {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.batches) == 0 {
+		mPoolMisses.Inc()
+		return nil
+	}
+	head := p.batches[0]
+	if head.m != m || head.msgLen != msgLen {
+		p.batches = nil
+		mPoolMisses.Inc()
+		return nil
+	}
+	p.batches = p.batches[1:]
+	mPoolHits.Inc()
+	return head
+}
+
+// Len reports the number of unconsumed precomputed batches.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.batches)
+}
+
+// Clear discards all precomputed batches. Both endpoints must clear at
+// the same protocol point or subsequent batches will desynchronize.
+func (p *Pool) Clear() {
+	p.mu.Lock()
+	p.batches = nil
+	p.mu.Unlock()
+}
+
+// Pool returns the sender's precomputed random-OT pool.
+func (s *Sender) Pool() *Pool { return &s.pool }
+
+// Pool returns the receiver's precomputed random-OT pool.
+func (r *Receiver) Pool() *Pool { return &r.pool }
+
+// FillRandom executes the offline half of one extension batch of m OTs
+// with msgLen-byte messages and pushes the material onto the sender's
+// pool. The peer must run Receiver.FillRandom with identical dimensions;
+// the exchange is half a round (receiver sends the matrix, sender only
+// receives), so matched calls cannot deadlock.
+func (s *Sender) FillRandom(m, msgLen int) error {
+	if m == 0 {
+		return nil
+	}
+	if msgLen <= 0 {
+		return fmt.Errorf("ot: FillRandom message length %d", msgLen)
+	}
+	sp := obs.Begin("ot", "ot.pool.fill.send")
+	defer sp.EndN(int64(m))
+	mPad := (m + 63) &^ 63
+	rowBytes := mPad / 8
+	qt, err := s.expandColumns(mPad, rowBytes)
+	if err != nil {
+		return err
+	}
+	r0 := make([]byte, m*msgLen)
+	r1 := make([]byte, m*msgLen)
+	parallel.For(m, 32, func(lo, hi int) {
+		var rowBuf, qxs [kappa / 8]byte
+		for j := lo; j < hi; j++ {
+			qt.RowBytesInto(rowBuf[:], j)
+			derivePad(r0[j*msgLen:(j+1)*msgLen], s.idx+uint64(j), rowBuf[:])
+			prf.XORBytes(qxs[:], rowBuf[:], s.sRow[:])
+			derivePad(r1[j*msgLen:(j+1)*msgLen], s.idx+uint64(j), qxs[:])
+		}
+	})
+	s.idx += uint64(mPad)
+	s.pool.push(&randBatch{m: m, msgLen: msgLen, r0: r0, r1: r1})
+	return nil
+}
+
+// FillRandom is the receiver half of offline precomputation: random
+// choice bits, matrix expansion, and storage of the chosen-side pads.
+func (r *Receiver) FillRandom(m, msgLen int) error {
+	if m == 0 {
+		return nil
+	}
+	if msgLen <= 0 {
+		return fmt.Errorf("ot: FillRandom message length %d", msgLen)
+	}
+	sp := obs.Begin("ot", "ot.pool.fill.recv")
+	defer sp.EndN(int64(m))
+	mPad := (m + 63) &^ 63
+	rowBytes := mPad / 8
+
+	g := prf.NewPRG(prf.RandomSeed())
+	rv := bitutil.NewVector(mPad)
+	bits := make([]bool, m)
+	for i := range bits {
+		bits[i] = g.Bool()
+		rv.Set(i, bits[i])
+	}
+	for i := m; i < mPad; i++ {
+		rv.Set(i, g.Bool())
+	}
+	tt, err := r.expandColumns(rv.Bytes(), mPad, rowBytes)
+	if err != nil {
+		return err
+	}
+	rc := make([]byte, m*msgLen)
+	parallel.For(m, 32, func(lo, hi int) {
+		var rowBuf [kappa / 8]byte
+		for j := lo; j < hi; j++ {
+			tt.RowBytesInto(rowBuf[:], j)
+			derivePad(rc[j*msgLen:(j+1)*msgLen], r.idx+uint64(j), rowBuf[:])
+		}
+	})
+	r.idx += uint64(mPad)
+	r.pool.push(&randBatch{m: m, msgLen: msgLen, bits: bits, rc: rc})
+	return nil
+}
+
+// receiveDerandomized serves one Receive call from precomputed material:
+// send correction bits, receive ciphertexts, unmask with the stored pads.
+func (r *Receiver) receiveDerandomized(b *randBatch, choices []bool) ([][]byte, error) {
+	m := len(choices)
+	msgLen := b.msgLen
+	sp := obs.Begin("ot", "ot.ext.derand.recv")
+	defer sp.EndN(int64(m))
+	d := bitutil.NewVector(m)
+	for j, c := range choices {
+		d.Set(j, c != b.bits[j])
+	}
+	if err := r.conn.Send(d.Bytes()); err != nil {
+		return nil, err
+	}
+	ct, err := r.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if len(ct) != 2*m*msgLen {
+		return nil, fmt.Errorf("ot: derandomized ciphertexts: got %d bytes, want %d", len(ct), 2*m*msgLen)
+	}
+	out := make([][]byte, m)
+	outBack := make([]byte, m*msgLen)
+	for j := range out {
+		c := ct[2*j*msgLen : (2*j+1)*msgLen]
+		if choices[j] {
+			c = ct[(2*j+1)*msgLen : (2*j+2)*msgLen]
+		}
+		msg := outBack[j*msgLen : (j+1)*msgLen]
+		prf.XORBytes(msg, c, b.rc[j*msgLen:(j+1)*msgLen])
+		out[j] = msg
+	}
+	return out, nil
+}
+
+// sendDerandomized serves one Send call from precomputed material. The
+// correction bit dⱼ swaps which stored pad masks which message, so the
+// receiver's chosen-side pad always opens pairs[j][cⱼ].
+func (s *Sender) sendDerandomized(b *randBatch, pairs [][2][]byte, msgLen int) error {
+	m := len(pairs)
+	sp := obs.Begin("ot", "ot.ext.derand.send")
+	defer sp.EndN(int64(m))
+	dMsg, err := s.conn.Recv()
+	if err != nil {
+		return err
+	}
+	if len(dMsg) != (m+7)/8 {
+		return fmt.Errorf("ot: derandomization corrections: got %d bytes, want %d", len(dMsg), (m+7)/8)
+	}
+	d := bitutil.VectorFromBytes(dMsg, m)
+	ct := make([]byte, 2*m*msgLen)
+	parallel.For(m, 32, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			r0 := b.r0[j*msgLen : (j+1)*msgLen]
+			r1 := b.r1[j*msgLen : (j+1)*msgLen]
+			if d.Get(j) {
+				r0, r1 = r1, r0
+			}
+			prf.XORBytes(ct[2*j*msgLen:(2*j+1)*msgLen], pairs[j][0], r0)
+			prf.XORBytes(ct[(2*j+1)*msgLen:(2*j+2)*msgLen], pairs[j][1], r1)
+		}
+	})
+	return s.conn.Send(ct)
+}

@@ -4,6 +4,7 @@ import (
 	"crypto/aes"
 	"crypto/cipher"
 	"encoding/binary"
+	"unsafe"
 )
 
 // Block is a 128-bit value: a garbled-circuit wire label or AES block.
@@ -69,3 +70,14 @@ func XORBlockValue(a, b Block) Block {
 
 // LSB returns the least significant (point-and-permute) bit of a label.
 func (b Block) LSB() uint8 { return b[15] & 1 }
+
+// BlockBytes views a block slice as its contiguous byte representation,
+// letting callers copy whole garbled tables with a single memmove
+// instead of one 16-byte copy per block. Blocks are fixed-size byte
+// arrays, so the reinterpretation has no padding or endianness caveats.
+func BlockBytes(bs []Block) []byte {
+	if len(bs) == 0 {
+		return nil
+	}
+	return unsafe.Slice(&bs[0][0], 16*len(bs))
+}

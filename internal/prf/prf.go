@@ -127,6 +127,26 @@ func Hash(domain uint64, data ...[]byte) [32]byte {
 	return out
 }
 
+// HashInto writes the first len(dst) bytes (at most 32) of
+// Hash(domain, data) into dst. It produces exactly the same digest as
+// Hash but avoids the streaming interface, so the OT pad-derivation hot
+// loop runs without heap allocations; data must also be small enough
+// (≤ 64 bytes) to fit the inline buffer — deliberately, since calling
+// Hash here would make every caller's data argument escape.
+func HashInto(dst []byte, domain uint64, data []byte) {
+	if len(dst) > 32 {
+		panic("prf: HashInto destination exceeds one digest")
+	}
+	var buf [72]byte
+	if 8+len(data) > len(buf) {
+		panic("prf: HashInto input exceeds inline buffer")
+	}
+	binary.LittleEndian.PutUint64(buf[:8], domain)
+	n := 8 + copy(buf[8:], data)
+	h := sha256.Sum256(buf[:n])
+	copy(dst, h[:len(dst)])
+}
+
 // HashToWidth expands Hash(domain, data...) to n bytes using the digest as
 // an AES-CTR seed. It is used to derive one-time pads of arbitrary length
 // from OT instances.

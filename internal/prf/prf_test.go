@@ -160,3 +160,37 @@ func TestRandomSeedVaries(t *testing.T) {
 		t.Fatal("two random seeds collided")
 	}
 }
+
+// TestHashIntoMatchesHash pins that the allocation-free digest path is
+// byte-identical to the streaming Hash — the OT transcript depends on it.
+func TestHashIntoMatchesHash(t *testing.T) {
+	g := NewPRG(Seed{42})
+	for _, n := range []int{0, 1, 15, 16, 31, 63, 64} {
+		data := g.Bytes(n)
+		want := Hash(uint64(n)*977+5, data)
+		for _, w := range []int{0, 1, 16, 32} {
+			dst := make([]byte, w)
+			HashInto(dst, uint64(n)*977+5, data)
+			if !bytes.Equal(dst, want[:w]) {
+				t.Fatalf("HashInto(%d bytes → %d) = % x, want % x", n, w, dst, want[:w])
+			}
+		}
+	}
+}
+
+// TestBlockBytesAliases pins the unsafe reinterpretation used for bulk
+// garbled-table copies: the view must alias the blocks in order.
+func TestBlockBytesAliases(t *testing.T) {
+	if BlockBytes(nil) != nil {
+		t.Fatal("BlockBytes(nil) must be nil")
+	}
+	bs := []Block{{1, 2}, {3, 4}}
+	v := BlockBytes(bs)
+	if len(v) != 32 || v[0] != 1 || v[1] != 2 || v[16] != 3 || v[17] != 4 {
+		t.Fatalf("BlockBytes layout wrong: % x", v)
+	}
+	v[16] = 9
+	if bs[1][0] != 9 {
+		t.Fatal("BlockBytes must alias, not copy")
+	}
+}

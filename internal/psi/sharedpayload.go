@@ -272,3 +272,10 @@ func runIndexedSender(p *mpc.Party, ys []uint64, myPayShares []uint64, mReceiver
 func BuildClearIndexCircuitForEstimate(pr Params, ell int) *gc.Circuit {
 	return buildClearIndexCircuit(pr, ell, idxWidth(pr.N+pr.B))
 }
+
+// BuildDirectCircuitForEstimate exposes the direct comparison circuit
+// (payload carried in the circuit, §5.4) the same way, for estimators
+// and for ahead-of-time garbling in core.Precompute.
+func BuildDirectCircuitForEstimate(pr Params, ell int) *gc.Circuit {
+	return buildCircuit(pr, ell)
+}

@@ -34,6 +34,7 @@
 package secyan
 
 import (
+	"context"
 	"fmt"
 
 	"secyan/internal/core"
@@ -74,6 +75,9 @@ type (
 	SharedResult = core.SharedResult
 	// Stats counts the traffic of a connection.
 	Stats = transport.Stats
+	// Trace is the per-step record of a protocol run (or of an offline
+	// Precompute pass).
+	Trace = core.Trace
 )
 
 // Party roles.
@@ -143,6 +147,19 @@ func Run2PC[A, B any](alice, bob *Party, fa func(*Party) (A, error), fb func(*Pa
 // and attach only their own relations.
 func Run(p *Party, q *Query) (*Relation, error) {
 	return core.Run(p, q)
+}
+
+// Precompute executes the offline phase of q's plan: base-OT setup,
+// random-OT pool fills, and ahead-of-time garbling of every planned
+// circuit. Both parties must call it concurrently — the offline phase
+// has its own traffic — and the next Run on the same parties consumes
+// the staged material transparently, leaving only derandomization and
+// evaluation on the critical path. The offline phase is data-independent:
+// q may be a bare query shape (schemas, owners, sizes) with no relations
+// attached. Staged material is single-use; running a different query
+// next is safe but falls back to the direct protocols.
+func Precompute(ctx context.Context, p *Party, q *Query) (*Trace, error) {
+	return core.Precompute(ctx, p, q)
 }
 
 // RunShared executes the protocol but keeps the result annotations in
