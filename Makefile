@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all test short race bench bench-json vet fuzz
+.PHONY: all test short race race-sessions bench bench-json vet fuzz
 
 all: vet test
 
@@ -22,6 +22,13 @@ short:
 # instrumented run.
 race:
 	$(GO) test -race -short ./...
+
+# The session layer's concurrency and robustness suites under the race
+# detector, repeated to shake out interleavings: stream multiplexing,
+# heartbeats/deadlines, fault injection, and the concurrent-session
+# transcript-equivalence tests.
+race-sessions:
+	$(GO) test -race -count=3 -timeout 30m -run 'Mux|Fault|Session' ./internal/transport ./internal/mpc ./internal/core .
 
 # Worker-count scaling benchmarks for the parallel kernels (IKNP
 # extension, garbling/evaluation, bit-matrix transpose) plus the

@@ -42,6 +42,7 @@ func main() {
 	jsonOut := flag.String("json", "", "write all figure points as JSON to this file (\"-\" for stdout)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/step on this address while benchmarking (enables metrics collection)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the measured secure runs to this file")
+	sessions := flag.Int("sessions", 0, "instead of the figures, measure session-layer throughput: run this many copies of the query serially vs concurrently multiplexed over one TCP connection (uses the first -scales entry; -fig selects the query, default Q3)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -78,6 +79,31 @@ func main() {
 	}
 
 	specs := []queries.Spec{queries.Q3(), queries.Q10(), queries.Q18(), queries.Q8(), queries.Q9(*q9nations)}
+
+	if *sessions > 0 {
+		ran := false
+		for _, spec := range specs {
+			// Sessions mode defaults to the cheapest query (Q3) unless a
+			// figure is selected explicitly.
+			if *fig == 0 && spec.Name != "Q3" {
+				continue
+			}
+			if *fig != 0 && spec.Figure != *fig {
+				continue
+			}
+			ran = true
+			if _, err := benchmark.RunSessions(spec, *sessions, opt, os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "secyan-bench: %s: %v\n", spec.Name, err)
+				os.Exit(1)
+			}
+		}
+		if !ran {
+			fmt.Fprintf(os.Stderr, "secyan-bench: no figure %d (expected 2-6)\n", *fig)
+			os.Exit(2)
+		}
+		return
+	}
+
 	ran := false
 	var allPoints []benchmark.Point
 	for _, spec := range specs {

@@ -44,6 +44,8 @@ func main() {
 	explain := flag.Bool("explain", false, "print the execution plan and cost estimate instead of running")
 	analyze := flag.Bool("analyze", false, "run the query and print the per-step trace (plan columns plus measured bytes, messages, rounds, wall time)")
 	precompute := flag.Bool("precompute", false, "run the plan-driven offline phase (OT pools, ahead-of-time garbling) first and report the offline/online split; in distributed mode both parties must pass it (the offline phase has its own traffic)")
+	heartbeat := flag.Duration("heartbeat", 0, "distributed mode: session heartbeat interval for peer-liveness detection (0 = off); the run fails cleanly if the peer goes silent for 3x this interval")
+	deadline := flag.Duration("deadline", 0, "distributed mode: overall session deadline (0 = none)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/step on this address (enables metrics collection)")
 	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server (and process) alive this long after the run finishes, so the final metrics can still be scraped")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
@@ -95,7 +97,7 @@ func main() {
 	if *role == "" {
 		runInProcess(spec, db, ring, *maxRows, *analyze, *precompute, tracer)
 	} else {
-		runDistributed(spec, db, ring, *role, *listen, *connect, *maxRows, *analyze, *precompute, tracer)
+		runDistributed(spec, db, ring, *role, *listen, *connect, *maxRows, *analyze, *precompute, *heartbeat, *deadline, tracer)
 	}
 
 	if tracer != nil {
@@ -202,7 +204,7 @@ func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int, 
 	}
 }
 
-func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, listen, connect string, maxRows int, analyze, precompute bool, tracer *obs.Tracer) {
+func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, listen, connect string, maxRows int, analyze, precompute bool, heartbeat, deadline time.Duration, tracer *obs.Tracer) {
 	var conn transport.Conn
 	var err error
 	var r mpc.Role
@@ -230,9 +232,19 @@ func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, liste
 		fmt.Fprintf(os.Stderr, "secyan: transport: %v\n", err)
 		os.Exit(1)
 	}
-	defer conn.Close()
 
-	p := mpc.NewParty(r, conn, ring)
+	// The connection runs under the session layer: the protocol gets a
+	// logical stream, and the session adds heartbeats and deadlines.
+	sess := mpc.NewSession(r, conn, ring, mpc.SessionConfig{
+		Heartbeat: heartbeat,
+		Deadline:  deadline,
+	})
+	defer sess.Close()
+	p, err := sess.PartyOn(0, mpc.PartyOpts{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secyan: session: %v\n", err)
+		os.Exit(1)
+	}
 	var trace core.Trace
 	if analyze {
 		p.Observer = func(s core.TraceStep) { trace.Steps = append(trace.Steps, s) }
@@ -254,7 +266,7 @@ func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, liste
 			os.Exit(1)
 		}
 		offElapsed = time.Since(start)
-		offBytes = conn.Stats().TotalBytes()
+		offBytes = p.Conn.Stats().TotalBytes()
 	}
 	res, err := spec.Secure(p, db)
 	if err != nil {
@@ -270,9 +282,13 @@ func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, liste
 	} else {
 		fmt.Println("bob: protocol finished (no output by design)")
 	}
-	st := conn.Stats()
+	st := p.Conn.Stats()
 	fmt.Printf("secure run: %.2fs, %.2f MB exchanged, %d rounds\n",
 		elapsed.Seconds(), float64(st.TotalBytes())/1e6, st.Rounds)
+	if sst := sess.Stats(); sst.OverheadBytesSent > 0 {
+		fmt.Printf("  session overhead: %.1f kB framing/control (%d control messages sent)\n",
+			float64(sst.OverheadBytesSent)/1e3, sst.ControlMsgsSent)
+	}
 	if precompute {
 		fmt.Printf("  offline phase: %.2fs, %.2f MB; online phase: %.2fs, %.2f MB\n",
 			offElapsed.Seconds(), float64(offBytes)/1e6,

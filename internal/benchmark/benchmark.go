@@ -158,9 +158,7 @@ func queryRelationSizes(spec queries.Spec, db *tpch.DB) []int {
 // instrumented transport, so its communication numbers are measured, not
 // modeled.
 func RunFigure(spec queries.Spec, opt Options, w io.Writer) ([]Point, error) {
-	if opt.Ring.Bits == 0 {
-		opt.Ring = share.Ring{Bits: 32}
-	}
+	opt.Ring = opt.Ring.OrDefault()
 	var points []Point
 	var lastSecure *Point
 

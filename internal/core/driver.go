@@ -52,7 +52,7 @@ func (q *Query) Validate(role mpc.Role) error {
 	for i, in := range q.Inputs {
 		if in.Owner == role {
 			if in.Rel == nil {
-				return fmt.Errorf("core: input %d (%s): owner must supply the relation", i, in.Name)
+				return fmt.Errorf("input %d: owner must supply the relation: %w", i, &MissingRelationError{Input: in.Name})
 			}
 			if in.Rel.Len() != in.N {
 				return fmt.Errorf("core: input %d (%s): N=%d but relation has %d tuples", i, in.Name, in.N, in.Rel.Len())

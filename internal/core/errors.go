@@ -1,0 +1,26 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMissingRelation reports an operation that needed a relation the
+// caller did not attach — plaintext evaluation over a query with a
+// nil Rel, or an owner running the protocol without its own data. Use
+// errors.Is against this sentinel; errors.As with *MissingRelationError
+// recovers the input name.
+var ErrMissingRelation = errors.New("missing relation")
+
+// MissingRelationError is the typed form of ErrMissingRelation,
+// carrying the name of the input whose relation was absent.
+type MissingRelationError struct {
+	Input string
+}
+
+func (e *MissingRelationError) Error() string {
+	return fmt.Sprintf("core: input %q: %v", e.Input, ErrMissingRelation)
+}
+
+// Unwrap makes errors.Is(err, ErrMissingRelation) hold.
+func (e *MissingRelationError) Unwrap() error { return ErrMissingRelation }

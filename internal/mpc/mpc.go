@@ -90,9 +90,7 @@ type session struct {
 // NewParty creates a session context. Ring defaults to share.Default when
 // zero.
 func NewParty(role Role, conn transport.Conn, ring share.Ring) *Party {
-	if ring.Bits == 0 {
-		ring = share.Default
-	}
+	ring = ring.OrDefault()
 	return &Party{Role: role, Conn: conn, Ring: ring, PRG: prf.NewPRG(prf.RandomSeed()),
 		sess: &session{raw: conn}}
 }

@@ -21,6 +21,15 @@ type Ring struct {
 // Default is the ring used by the paper's experiments (§8.2).
 var Default = Ring{Bits: 32}
 
+// OrDefault returns r, or Default when r is the zero Ring. Every
+// zero-value ring defaulting in the repository goes through here.
+func (r Ring) OrDefault() Ring {
+	if r.Bits == 0 {
+		return Default
+	}
+	return r
+}
+
 // Mask reduces v modulo 2^Bits.
 func (r Ring) Mask(v uint64) uint64 {
 	if r.Bits >= 64 {

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFaultDrop: the dropped message never arrives; later ones do.
+func TestFaultDrop(t *testing.T) {
+	a, b := Pair()
+	fa := InjectFaults(a, Fault{AtSend: 2, Mode: FaultDrop})
+	if err := fa.Send([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fa.Send([]byte("two")); err != nil {
+		t.Fatal(err) // the sender believes the drop succeeded
+	}
+	if err := fa.Send([]byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := b.Recv(); string(got) != "one" {
+		t.Fatalf("first: %q", got)
+	}
+	if got, _ := b.Recv(); string(got) != "three" {
+		t.Fatalf("after drop: %q", got)
+	}
+}
+
+// TestFaultDelay: the targeted message is late but intact.
+func TestFaultDelay(t *testing.T) {
+	a, b := Pair()
+	fa := InjectFaults(a, Fault{AtSend: 1, Mode: FaultDelay, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := fa.Send([]byte("slow")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := b.Recv(); err != nil || string(got) != "slow" {
+		t.Fatalf("delayed message: %q, %v", got, err)
+	}
+	if time.Since(start) < 30*time.Millisecond {
+		t.Fatal("delay did not apply")
+	}
+}
+
+// TestFaultPartial: a truncated message followed by connection loss.
+func TestFaultPartial(t *testing.T) {
+	a, b := Pair()
+	fa := InjectFaults(a, Fault{AtSend: 1, Mode: FaultPartial})
+	if err := fa.Send([]byte("abcdef")); err == nil {
+		t.Fatal("partial write reported success")
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "abc" {
+		t.Fatalf("truncated payload: %q", got)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("conn not closed after partial write: %v", err)
+	}
+}
+
+// TestFaultClose: the connection dies instead of sending.
+func TestFaultClose(t *testing.T) {
+	a, b := Pair()
+	fa := InjectFaults(a, Fault{AtSend: 1, Mode: FaultClose})
+	if err := fa.Send([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("close fault: %v", err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("peer after close fault: %v", err)
+	}
+}
+
+// TestSeededFaultsDeterministic: same seed, same schedule; schedules
+// never hit the same send twice.
+func TestSeededFaultsDeterministic(t *testing.T) {
+	f1 := SeededFaults(42, 6, 100)
+	f2 := SeededFaults(42, 6, 100)
+	if len(f1) != 6 {
+		t.Fatalf("got %d faults", len(f1))
+	}
+	seen := map[int]bool{}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("schedules diverge at %d: %+v vs %+v", i, f1[i], f2[i])
+		}
+		if seen[f1[i].AtSend] {
+			t.Fatalf("send index %d targeted twice", f1[i].AtSend)
+		}
+		seen[f1[i].AtSend] = true
+	}
+	f3 := SeededFaults(43, 6, 100)
+	same := true
+	for i := range f1 {
+		if f1[i] != f3[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}

@@ -1,0 +1,449 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// muxPair returns two connected Mux endpoints over the in-memory pipe.
+func muxPair(cfg MuxConfig) (*Mux, *Mux) {
+	a, b := Pair()
+	return NewMux(a, cfg), NewMux(b, cfg)
+}
+
+// muxPairTCP returns two connected Mux endpoints over a real loopback
+// TCP connection.
+func muxPairTCP(t *testing.T, cfg MuxConfig) (*Mux, *Mux) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	type res struct {
+		c   Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		nc, err := l.Accept()
+		if err != nil {
+			ch <- res{nil, err}
+			return
+		}
+		ch <- res{NewConn(nc), nil}
+	}()
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	return NewMux(r.c, cfg), NewMux(NewConn(nc), cfg)
+}
+
+// eachTransport runs the test body over both the pipe and TCP
+// transports, per the robustness-suite requirement.
+func eachTransport(t *testing.T, cfg MuxConfig, body func(t *testing.T, ma, mb *Mux)) {
+	t.Run("pipe", func(t *testing.T) {
+		ma, mb := muxPair(cfg)
+		defer ma.Close()
+		defer mb.Close()
+		body(t, ma, mb)
+	})
+	t.Run("tcp", func(t *testing.T) {
+		ma, mb := muxPairTCP(t, cfg)
+		defer ma.Close()
+		defer mb.Close()
+		body(t, ma, mb)
+	})
+}
+
+func mustOpen(t *testing.T, m *Mux, id uint32) Conn {
+	t.Helper()
+	c, err := m.Open(id)
+	if err != nil {
+		t.Fatalf("open stream %d: %v", id, err)
+	}
+	return c
+}
+
+// TestMuxBasicRoundTrip checks ordered delivery on one stream in both
+// directions over both transports.
+func TestMuxBasicRoundTrip(t *testing.T) {
+	eachTransport(t, MuxConfig{}, func(t *testing.T, ma, mb *Mux) {
+		ca, cb := mustOpen(t, ma, 1), mustOpen(t, mb, 1)
+		for i := 0; i < 10; i++ {
+			msg := []byte(fmt.Sprintf("msg-%d", i))
+			if err := ca.Send(msg); err != nil {
+				t.Fatal(err)
+			}
+			got, err := cb.Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(msg) {
+				t.Fatalf("got %q want %q", got, msg)
+			}
+			if err := cb.Send([]byte("ack")); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ca.Recv(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}
+
+// TestMuxInterleavedStreams drives many concurrent streams and checks
+// each preserves its own FIFO order and byte counts.
+func TestMuxInterleavedStreams(t *testing.T) {
+	eachTransport(t, MuxConfig{}, func(t *testing.T, ma, mb *Mux) {
+		const streams = 8
+		const msgs = 50
+		var wg sync.WaitGroup
+		errs := make(chan error, 2*streams)
+		for id := uint32(0); id < streams; id++ {
+			ca, cb := mustOpen(t, ma, id), mustOpen(t, mb, id)
+			wg.Add(2)
+			go func(id uint32, c Conn) {
+				defer wg.Done()
+				for i := 0; i < msgs; i++ {
+					if err := c.Send([]byte(fmt.Sprintf("s%d-m%d", id, i))); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(id, ca)
+			go func(id uint32, c Conn) {
+				defer wg.Done()
+				for i := 0; i < msgs; i++ {
+					got, err := c.Recv()
+					if err != nil {
+						errs <- err
+						return
+					}
+					want := fmt.Sprintf("s%d-m%d", id, i)
+					if string(got) != want {
+						errs <- fmt.Errorf("stream %d: got %q want %q", id, got, want)
+						return
+					}
+				}
+			}(id, cb)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		st := ma.SessionStats()
+		if st.Streams != streams {
+			t.Fatalf("alice-side streams: %d", st.Streams)
+		}
+		if st.Data.MessagesSent != streams*msgs {
+			t.Fatalf("rolled-up messages sent: %d want %d", st.Data.MessagesSent, streams*msgs)
+		}
+	})
+}
+
+// TestMuxStreamStatsMatchBareConn proves the per-stream accounting
+// equals a dedicated connection's for the same message sequence.
+func TestMuxStreamStatsMatchBareConn(t *testing.T) {
+	script := func(c Conn, peer Conn) {
+		c.Send([]byte("hello"))
+		peer.Recv()
+		peer.Send([]byte("world!"))
+		c.Recv()
+		c.Send([]byte("a"))
+		c.Send([]byte("bb"))
+		peer.Recv()
+		peer.Recv()
+	}
+	ba, bb := Pair()
+	script(ba, bb)
+	want := ba.Stats()
+
+	ma, mb := muxPair(MuxConfig{})
+	defer ma.Close()
+	defer mb.Close()
+	ca, cb := mustOpen(t, ma, 7), mustOpen(t, mb, 7)
+	script(ca, cb)
+	if got := ca.Stats(); got != want {
+		t.Fatalf("mux stream stats %+v differ from bare conn stats %+v", got, want)
+	}
+}
+
+// TestMuxSiblingIsolation closes one stream mid-conversation and
+// checks its sibling continues unharmed while the closed stream's peer
+// gets a labeled ErrClosed.
+func TestMuxSiblingIsolation(t *testing.T) {
+	eachTransport(t, MuxConfig{}, func(t *testing.T, ma, mb *Mux) {
+		c1a, c1b := mustOpen(t, ma, 1), mustOpen(t, mb, 1)
+		c2a, c2b := mustOpen(t, ma, 2), mustOpen(t, mb, 2)
+
+		c1a.Close()
+		if _, err := c1b.Recv(); err == nil {
+			t.Fatal("recv on closed stream succeeded")
+		} else {
+			var se *StreamError
+			if !errors.As(err, &se) || se.Stream != 1 {
+				t.Fatalf("error not labeled with stream 1: %v", err)
+			}
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("error does not unwrap to ErrClosed: %v", err)
+			}
+		}
+
+		// The sibling still works in both directions.
+		if err := c2a.Send([]byte("still here")); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := c2b.Recv(); err != nil || string(got) != "still here" {
+			t.Fatalf("sibling recv: %q, %v", got, err)
+		}
+		if err := c2b.Send([]byte("ok")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c2a.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestMuxBackpressure checks that a sender outrunning a stalled
+// consumer blocks at the credit window and resumes once the consumer
+// drains, without disturbing other streams.
+func TestMuxBackpressure(t *testing.T) {
+	const cap = 4
+	ma, mb := muxPair(MuxConfig{QueueCap: cap})
+	defer ma.Close()
+	defer mb.Close()
+	ca, cb := mustOpen(t, ma, 1), mustOpen(t, mb, 1)
+	other, otherB := mustOpen(t, ma, 2), mustOpen(t, mb, 2)
+
+	sent := make(chan int, 1)
+	go func() {
+		n := 0
+		for i := 0; i < 3*cap; i++ {
+			if err := ca.Send([]byte{byte(i)}); err != nil {
+				break
+			}
+			n++
+		}
+		sent <- n
+	}()
+	// Give the sender time to run into the window.
+	time.Sleep(50 * time.Millisecond)
+	select {
+	case n := <-sent:
+		t.Fatalf("sender finished %d sends with a stalled consumer and window %d", n, cap)
+	default:
+	}
+	// A sibling stream is unaffected by the stalled one.
+	if err := other.Send([]byte("sibling")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := otherB.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain; the sender must complete all messages in order.
+	for i := 0; i < 3*cap; i++ {
+		got, err := cb.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("message %d out of order: %d", i, got[0])
+		}
+	}
+	if n := <-sent; n != 3*cap {
+		t.Fatalf("sender completed %d of %d sends", n, 3*cap)
+	}
+}
+
+// TestMuxHeartbeatDetectsDeadPeer puts a blackhole between the
+// parties: Alice's frames vanish and Bob goes silent, so Alice's
+// liveness timer must fail her session with ErrPeerTimeout.
+func TestMuxHeartbeatDetectsDeadPeer(t *testing.T) {
+	a, b := Pair()
+	// Blackhole: drop everything Bob would send, so Alice hears nothing.
+	silent := InjectFaults(b, func() []Fault {
+		fs := make([]Fault, 200)
+		for i := range fs {
+			fs[i] = Fault{AtSend: i + 1, Mode: FaultDrop}
+		}
+		return fs
+	}()...)
+	ma := NewMux(a, MuxConfig{Heartbeat: 20 * time.Millisecond, PeerTimeout: 80 * time.Millisecond})
+	mb := NewMux(silent, MuxConfig{})
+	defer ma.Close()
+	defer mb.Close()
+
+	ca := mustOpen(t, ma, 1)
+	deadline := time.After(5 * time.Second)
+	select {
+	case <-ma.Done():
+	case <-deadline:
+		t.Fatal("liveness timeout did not fire")
+	}
+	if err := ma.Err(); !errors.Is(err, ErrPeerTimeout) {
+		t.Fatalf("session error: %v", err)
+	}
+	if _, err := ca.Recv(); !errors.Is(err, ErrPeerTimeout) {
+		t.Fatalf("stream error after peer timeout: %v", err)
+	}
+}
+
+// TestMuxHeartbeatKeepsHealthySessionAlive runs a session with fast
+// heartbeats over a window several timeouts long and checks nothing
+// fails while the peer is responsive (even though no data flows).
+func TestMuxHeartbeatKeepsHealthySessionAlive(t *testing.T) {
+	cfg := MuxConfig{Heartbeat: 10 * time.Millisecond, PeerTimeout: 40 * time.Millisecond}
+	ma, mb := muxPair(cfg)
+	defer ma.Close()
+	defer mb.Close()
+	time.Sleep(200 * time.Millisecond)
+	if err := ma.Err(); err != nil {
+		t.Fatalf("healthy session failed: %v", err)
+	}
+	if err := mb.Err(); err != nil {
+		t.Fatalf("healthy session failed: %v", err)
+	}
+}
+
+// TestMuxStreamDeadline bounds one stream; its expiry must fail that
+// stream with context.DeadlineExceeded on both endpoints and leave the
+// sibling alone.
+func TestMuxStreamDeadline(t *testing.T) {
+	eachTransport(t, MuxConfig{}, func(t *testing.T, ma, mb *Mux) {
+		ca, err := ma.OpenStream(1, StreamOptions{Deadline: 30 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb := mustOpen(t, mb, 1)
+		sibA, sibB := mustOpen(t, ma, 2), mustOpen(t, mb, 2)
+
+		if _, err := ca.Recv(); !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("deadline stream error: %v", err)
+		}
+		var se *StreamError
+		if _, err := ca.Recv(); !errors.As(err, &se) || se.Stream != 1 {
+			t.Fatalf("deadline error not labeled: %v", err)
+		}
+		// Peer's half is released (close frame), not hung.
+		if _, err := cb.Recv(); err == nil {
+			t.Fatal("peer of expired stream kept waiting")
+		}
+		// Sibling unaffected.
+		if err := sibA.Send([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sibB.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestMuxSessionDeadline bounds the whole session.
+func TestMuxSessionDeadline(t *testing.T) {
+	a, b := Pair()
+	ma := NewMux(a, MuxConfig{Deadline: 30 * time.Millisecond})
+	mb := NewMux(b, MuxConfig{})
+	defer ma.Close()
+	defer mb.Close()
+	ca := mustOpen(t, ma, 1)
+	select {
+	case <-ma.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("session deadline did not fire")
+	}
+	if _, err := ca.Recv(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stream error after session deadline: %v", err)
+	}
+}
+
+// TestMuxStreamIDReuseRejected: ids are single-use.
+func TestMuxStreamIDReuseRejected(t *testing.T) {
+	ma, mb := muxPair(MuxConfig{})
+	defer ma.Close()
+	defer mb.Close()
+	mustOpen(t, ma, 3)
+	if _, err := ma.Open(3); !errors.Is(err, ErrStreamInUse) {
+		t.Fatalf("duplicate open: %v", err)
+	}
+}
+
+// TestMuxUnderlyingCloseFailsAllStreams: a mid-protocol close of the
+// base conn must surface on every stream, labeled.
+func TestMuxUnderlyingCloseFailsAllStreams(t *testing.T) {
+	eachTransport(t, MuxConfig{}, func(t *testing.T, ma, mb *Mux) {
+		ca1, ca2 := mustOpen(t, ma, 1), mustOpen(t, ma, 2)
+		mustOpen(t, mb, 1)
+		mustOpen(t, mb, 2)
+		mb.Close()
+		for _, c := range []Conn{ca1, ca2} {
+			if _, err := c.Recv(); err == nil {
+				t.Fatal("recv succeeded after peer session close")
+			} else {
+				var se *StreamError
+				if !errors.As(err, &se) {
+					t.Fatalf("unlabeled error: %v", err)
+				}
+			}
+		}
+	})
+}
+
+// TestMuxEarlyDataBuffered: data arriving before the local Open is
+// delivered once the stream is opened.
+func TestMuxEarlyDataBuffered(t *testing.T) {
+	ma, mb := muxPair(MuxConfig{})
+	defer ma.Close()
+	defer mb.Close()
+	ca := mustOpen(t, ma, 9)
+	if err := ca.Send([]byte("early")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond) // let it arrive pre-open
+	cb := mustOpen(t, mb, 9)
+	got, err := cb.Recv()
+	if err != nil || string(got) != "early" {
+		t.Fatalf("early data: %q, %v", got, err)
+	}
+}
+
+// TestMuxSessionStatsOverhead: control traffic (credits) is accounted
+// separately from payload stats.
+func TestMuxSessionStatsOverhead(t *testing.T) {
+	const cap = 2
+	ma, mb := muxPair(MuxConfig{QueueCap: cap})
+	defer ma.Close()
+	defer mb.Close()
+	ca, cb := mustOpen(t, ma, 1), mustOpen(t, mb, 1)
+	for i := 0; i < 10; i++ {
+		if err := ca.Send([]byte("pp")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cb.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bst := mb.SessionStats()
+	if bst.ControlMsgsSent == 0 {
+		t.Fatal("no credit frames were sent despite a tiny window")
+	}
+	ast := ma.SessionStats()
+	if ast.Data.BytesSent != 20 || ast.Data.MessagesSent != 10 {
+		t.Fatalf("payload rollup wrong: %+v", ast.Data)
+	}
+	if ast.OverheadBytesSent != 10*muxHeaderSize {
+		t.Fatalf("overhead bytes: %d want %d", ast.OverheadBytesSent, 10*muxHeaderSize)
+	}
+}

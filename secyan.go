@@ -13,9 +13,14 @@
 // standard library's crypto primitives (see DESIGN.md for the full
 // inventory).
 //
-// A minimal in-process session:
+// The public entry point is the Session API: each party opens one
+// Session over its end of a connection and issues context-first calls
+// on it, any number of which may run concurrently — every execution
+// gets its own logical stream over the shared transport:
 //
-//	alice, bob := secyan.LocalParties(secyan.DefaultRing)
+//	alice, bob := secyan.OpenLocal()
+//	defer alice.Close()
+//	defer bob.Close()
 //	q := &secyan.Query{
 //		Inputs: []secyan.Input{
 //			{Name: "visits", Owner: secyan.Bob, Schema: visits.Schema, N: visits.Len(), Rel: visits},
@@ -23,14 +28,15 @@
 //		},
 //		Output: []secyan.Attr{"class"},
 //	}
-//	res, _, err := secyan.Run2PC(alice, bob,
-//		func(p *secyan.Party) (*secyan.Relation, error) { return secyan.Run(p, qFor(p)) },
-//		func(p *secyan.Party) (*secyan.Relation, error) { return secyan.Run(p, qFor(p)) },
-//	)
+//	// Both parties run their half concurrently; each party's query
+//	// carries only its own relations (peer Inputs have Rel = nil).
+//	go bob.Run(ctx, qBob)
+//	res, err := alice.Run(ctx, qAlice)
 //
-// where each party's query carries only its own relations (the peer's
-// Input entries have Rel = nil). For two processes, use Listen/Dial
-// instead of LocalParties.
+// For two processes, open the session over a TCP conn (ListenSession /
+// DialSession) and add WithHeartbeat for peer-liveness detection. The
+// free functions (Run, RunShared, Precompute, NewParty, LocalParties)
+// remain as thin wrappers over a caller-managed Party and connection.
 package secyan
 
 import (
@@ -92,14 +98,22 @@ const (
 // experiments (ℓ = 32, §8.2).
 var DefaultRing = share.Default
 
-// Errors exposed by the planner.
+// Errors exposed by the planner and evaluators.
 var (
 	// ErrCyclic reports a query without a join tree.
 	ErrCyclic = jointree.ErrCyclic
 	// ErrNotFreeConnex reports an acyclic query whose output attributes
 	// violate the free-connex condition.
 	ErrNotFreeConnex = jointree.ErrNotFreeConnex
+	// ErrMissingRelation reports an evaluation over a query input whose
+	// relation was not attached. errors.As with *MissingRelationError
+	// recovers the input name.
+	ErrMissingRelation = core.ErrMissingRelation
 )
+
+// MissingRelationError is the typed form of ErrMissingRelation; its
+// Input field names the relation that was absent.
+type MissingRelationError = core.MissingRelationError
 
 // NewRelation returns an empty relation over the given attributes; panics
 // on duplicate names (use relation construction early in setup).
@@ -109,17 +123,24 @@ func NewRelation(attrs ...Attr) *Relation {
 
 // NewParty wraps a connection into a protocol endpoint. Pass a zero Ring
 // for the default 32-bit annotations.
+//
+// Deprecated: prefer Open, which multiplexes any number of protocol
+// executions over the connection with deadlines and heartbeats.
 func NewParty(role Role, conn Conn, ring Ring) *Party {
 	return mpc.NewParty(role, conn, ring)
 }
 
 // LocalParties returns two connected in-process parties, for tests,
 // benchmarks and demos.
+//
+// Deprecated: prefer OpenLocal, the Session form of the same.
 func LocalParties(ring Ring) (alice, bob *Party) {
 	return mpc.Pair(ring)
 }
 
 // Listen accepts one TCP connection and wraps it for the given role.
+//
+// Deprecated: prefer ListenSession.
 func Listen(addr string, role Role, ring Ring) (*Party, error) {
 	c, err := transport.Listen(addr)
 	if err != nil {
@@ -129,6 +150,8 @@ func Listen(addr string, role Role, ring Ring) (*Party, error) {
 }
 
 // Dial connects to a listening peer and wraps the connection.
+//
+// Deprecated: prefer DialSession.
 func Dial(addr string, role Role, ring Ring) (*Party, error) {
 	c, err := transport.Dial(addr)
 	if err != nil {
@@ -145,6 +168,9 @@ func Run2PC[A, B any](alice, bob *Party, fa func(*Party) (A, error), fb func(*Pa
 // Run executes the secure Yannakakis protocol. Alice receives the query
 // results; Bob receives nil. Both parties must describe the same query
 // and attach only their own relations.
+//
+// Deprecated: prefer Session.Run, which is context-first and runs on
+// its own stream of a multiplexed session.
 func Run(p *Party, q *Query) (*Relation, error) {
 	return core.Run(p, q)
 }
@@ -158,6 +184,9 @@ func Run(p *Party, q *Query) (*Relation, error) {
 // q may be a bare query shape (schemas, owners, sizes) with no relations
 // attached. Staged material is single-use; running a different query
 // next is safe but falls back to the direct protocols.
+//
+// Deprecated: prefer Session.Precompute, which stages material on a
+// background stream that the next Session.Run consumes.
 func Precompute(ctx context.Context, p *Party, q *Query) (*Trace, error) {
 	return core.Precompute(ctx, p, q)
 }
@@ -165,12 +194,16 @@ func Precompute(ctx context.Context, p *Party, q *Query) (*Trace, error) {
 // RunShared executes the protocol but keeps the result annotations in
 // secret-shared form, enabling the compositions of paper §7 (avg,
 // ratios, differences of sums).
+//
+// Deprecated: prefer Session.RunShared.
 func RunShared(p *Party, q *Query) (*SharedResult, error) {
 	return core.RunShared(p, q)
 }
 
 // RevealRatio reveals (num·scale)/den per result row to Alice — the
 // composition used for AVG and market-share style aggregates.
+//
+// Deprecated: prefer Session.RevealRatio.
 func RevealRatio(p *Party, num, den *SharedResult, scale uint64) (*Relation, error) {
 	return core.RevealRatio(p, num, den, scale)
 }
@@ -189,7 +222,7 @@ func Plaintext(q *Query, ring Ring) (*Relation, error) {
 	rels := make([]*Relation, len(q.Inputs))
 	for i, in := range q.Inputs {
 		if in.Rel == nil {
-			return nil, fmt.Errorf("secyan: plaintext evaluation needs all relations (missing %s)", in.Name)
+			return nil, fmt.Errorf("secyan: plaintext evaluation needs all relations: %w", &core.MissingRelationError{Input: in.Name})
 		}
 		rels[i] = in.Rel
 	}
@@ -197,18 +230,11 @@ func Plaintext(q *Query, ring Ring) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := yannakakis.Run(tree, rels, q.Output, relation.RingSemiring{Bits: ringBits(ring)})
+	res, err := yannakakis.Run(tree, rels, q.Output, relation.RingSemiring{Bits: ring.OrDefault().Bits})
 	if err != nil {
 		return nil, err
 	}
 	return res.DropZeroAnnotated(), nil
-}
-
-func ringBits(r Ring) int {
-	if r.Bits == 0 {
-		return share.Default.Bits
-	}
-	return r.Bits
 }
 
 // Plan is an execution plan with per-step communication estimates; see
@@ -217,8 +243,10 @@ type Plan = core.Plan
 
 // Explain derives the execution plan and a communication estimate for a
 // query from public parameters only (both parties compute identical
-// plans — a restatement of obliviousness). estOut is the assumed output
-// size for the join-phase steps of multi-survivor queries.
-func Explain(q *Query, ring Ring, estOut int) (*Plan, error) {
-	return core.Explain(q, ringBits(ring), estOut)
+// plans — a restatement of obliviousness). Options: WithRing selects
+// the annotation ring (default DefaultRing) and WithEstOut the assumed
+// output size for the join-phase steps of multi-survivor queries.
+func Explain(q *Query, opts ...Option) (*Plan, error) {
+	cfg := buildConfig(opts)
+	return core.Explain(q, cfg.ring.Bits, cfg.estOut)
 }

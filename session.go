@@ -1,0 +1,329 @@
+package secyan
+
+// The Session API is the package's public entry point: one Session per
+// party multiplexes any number of protocol executions — online queries,
+// shared-result compositions, background Precompute passes — over a
+// single connection, with deadlines, heartbeats and per-stream fault
+// isolation provided by the transport session layer. The free
+// functions (Run, RunShared, Precompute, ...) remain as thin wrappers
+// over a caller-managed Party for code written against the original
+// one-query-per-connection API.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"secyan/internal/core"
+	"secyan/internal/mpc"
+	"secyan/internal/obs"
+	"secyan/internal/parallel"
+	"secyan/internal/transport"
+)
+
+// Tracer records span timelines of protocol runs; see WithTracer and
+// the observability section of DESIGN.md.
+type Tracer = obs.Tracer
+
+// NewTracer returns an empty span recorder for WithTracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// SessionStats is the rolled-up traffic of one Session endpoint:
+// per-stream payload totals plus the session layer's control-plane
+// overhead (heartbeats, flow-control credits, stream headers).
+type SessionStats = transport.SessionStats
+
+// StreamError labels a failure with the logical stream it occurred on;
+// errors returned by Session methods unwrap through it, so
+// errors.Is(err, ctx.Err()) and errors.As(&StreamError{}) both work.
+type StreamError = transport.StreamError
+
+// ErrPeerTimeout reports a peer that stopped answering heartbeats.
+var ErrPeerTimeout = transport.ErrPeerTimeout
+
+// config collects every knob of the functional-options model. The same
+// Option values configure Open/OpenLocal and, where meaningful,
+// Explain; options that do not apply to a call are ignored by it.
+type config struct {
+	ring           Ring
+	workers        int
+	tracer         *Tracer
+	deadline       time.Duration
+	streamDeadline time.Duration
+	heartbeat      time.Duration
+	peerTimeout    time.Duration
+	queueCap       int
+	estOut         int
+	wrapStream     func(id uint32, c Conn) Conn
+}
+
+// Option configures Open, OpenLocal or Explain.
+type Option func(*config)
+
+// WithRing selects the annotation ring (default: DefaultRing, the
+// paper's ℓ=32).
+func WithRing(r Ring) Option { return func(c *config) { c.ring = r } }
+
+// WithWorkers pins the crypto-kernel worker count for this process
+// (the pool is process-wide; 0 keeps GOMAXPROCS).
+func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithTracer records run/phase/step/kernel span timelines of every
+// execution on the session, one track per party and stream.
+func WithTracer(tr *Tracer) Option { return func(c *config) { c.tracer = tr } }
+
+// WithDeadline bounds the whole session: when it expires, every stream
+// fails with context.DeadlineExceeded.
+func WithDeadline(d time.Duration) Option { return func(c *config) { c.deadline = d } }
+
+// WithStreamDeadline bounds each individual protocol execution opened
+// through the session.
+func WithStreamDeadline(d time.Duration) Option { return func(c *config) { c.streamDeadline = d } }
+
+// WithHeartbeat enables idle heartbeats on the session: pings every
+// interval, with peer-liveness failure after WithPeerTimeout (default
+// 3× the interval).
+func WithHeartbeat(interval time.Duration) Option { return func(c *config) { c.heartbeat = interval } }
+
+// WithPeerTimeout sets how long the session tolerates total silence
+// from the peer before failing with ErrPeerTimeout (requires
+// WithHeartbeat).
+func WithPeerTimeout(d time.Duration) Option { return func(c *config) { c.peerTimeout = d } }
+
+// WithQueueCap bounds each stream's receive queue (in messages); it is
+// the flow-control window and must match between the two endpoints.
+func WithQueueCap(n int) Option { return func(c *config) { c.queueCap = n } }
+
+// WithEstOut sets the assumed output size Explain uses for the
+// join-phase steps of multi-survivor queries. Ignored by Open.
+func WithEstOut(n int) Option { return func(c *config) { c.estOut = n } }
+
+// WithStreamWrapper interposes f on every logical stream the session
+// opens — the hook behind fault injection (see transport.InjectFaults)
+// and per-stream instrumentation. f must preserve Conn semantics.
+func WithStreamWrapper(f func(id uint32, c Conn) Conn) Option {
+	return func(c *config) { c.wrapStream = f }
+}
+
+func buildConfig(opts []Option) config {
+	c := config{ring: DefaultRing}
+	for _, o := range opts {
+		o(&c)
+	}
+	c.ring = c.ring.OrDefault()
+	return c
+}
+
+// Session is one party's endpoint of a multiplexed protocol session:
+// concurrent Run/RunShared/Precompute calls each execute on their own
+// logical stream over the shared connection. The two parties must
+// issue the same sequence of session calls (the symmetry every 2PC
+// protocol here already requires); concurrent calls pair by stream
+// open order, so heterogeneous concurrent queries should be issued in
+// a deterministic order on both sides.
+type Session struct {
+	cfg  config
+	role Role
+	sess *mpc.Session
+
+	mu     sync.Mutex
+	staged []stagedParty
+}
+
+// stagedParty is a stream whose Party holds material from a Precompute
+// pass, parked until the next Run consumes it.
+type stagedParty struct {
+	p  *Party
+	id uint32
+}
+
+// Open starts a session over conn for the given role. The session owns
+// conn: close the session, not the conn. Both parties must open
+// compatible sessions (same ring, same queue capacity) over the two
+// ends of one connection.
+func Open(role Role, conn Conn, opts ...Option) (*Session, error) {
+	if role != Alice && role != Bob {
+		return nil, fmt.Errorf("secyan: invalid role %d", role)
+	}
+	cfg := buildConfig(opts)
+	if cfg.workers > 0 {
+		parallel.SetWorkers(cfg.workers)
+	}
+	if cfg.tracer != nil {
+		obs.Install(cfg.tracer)
+	}
+	return &Session{
+		cfg:  cfg,
+		role: role,
+		sess: mpc.NewSession(role, conn, cfg.ring, mpc.SessionConfig{
+			QueueCap:       cfg.queueCap,
+			Heartbeat:      cfg.heartbeat,
+			PeerTimeout:    cfg.peerTimeout,
+			Deadline:       cfg.deadline,
+			StreamDeadline: cfg.streamDeadline,
+			WrapStream:     cfg.wrapStream,
+		}),
+	}, nil
+}
+
+// OpenLocal returns two connected in-process sessions over an
+// in-memory transport, for tests, demos and benchmarks.
+func OpenLocal(opts ...Option) (alice, bob *Session) {
+	ca, cb := transport.Pair()
+	alice, _ = Open(Alice, ca, opts...)
+	bob, _ = Open(Bob, cb, opts...)
+	return alice, bob
+}
+
+// ListenSession accepts one TCP connection and opens a session over it.
+func ListenSession(addr string, role Role, opts ...Option) (*Session, error) {
+	c, err := transport.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return Open(role, c, opts...)
+}
+
+// DialSession connects to a listening peer and opens a session.
+func DialSession(addr string, role Role, opts ...Option) (*Session, error) {
+	c, err := transport.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return Open(role, c, opts...)
+}
+
+// party obtains the Party for the next protocol execution: a staged
+// (precomputed) stream if one is parked, otherwise a fresh stream.
+func (s *Session) party() (*Party, uint32, error) {
+	s.mu.Lock()
+	if len(s.staged) > 0 {
+		sp := s.staged[0]
+		s.staged = s.staged[1:]
+		s.mu.Unlock()
+		return sp.p, sp.id, nil
+	}
+	s.mu.Unlock()
+	p, id, err := s.sess.NextParty(mpc.PartyOpts{})
+	if err != nil {
+		return nil, 0, err
+	}
+	if s.cfg.tracer != nil {
+		p.Track = s.cfg.tracer.Track(fmt.Sprintf("%s/stream-%d", s.role, id))
+	}
+	return p, id, nil
+}
+
+// Run executes the secure Yannakakis protocol for q on its own stream.
+// Alice receives the query results; Bob receives nil. A preceding
+// Precompute of the same query shape is consumed transparently.
+func (s *Session) Run(ctx context.Context, q *Query) (*Relation, error) {
+	rel, _, err := s.RunTrace(ctx, q)
+	return rel, err
+}
+
+// RunTrace is Run returning the per-step execution trace as well
+// (valid as a prefix even on error).
+func (s *Session) RunTrace(ctx context.Context, q *Query) (*Relation, *Trace, error) {
+	p, id, err := s.party()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer p.Conn.Close()
+	rel, tr, err := core.RunContext(ctx, p, q)
+	if err != nil {
+		return nil, tr, s.labeled(id, err)
+	}
+	return rel, tr, nil
+}
+
+// RunShared executes the protocol but keeps the result annotations
+// secret-shared, enabling the compositions of paper §7. The returned
+// result is stream-independent data: it may be combined (RevealRatio)
+// with results from other runs of this session.
+func (s *Session) RunShared(ctx context.Context, q *Query) (*SharedResult, error) {
+	p, id, err := s.party()
+	if err != nil {
+		return nil, err
+	}
+	defer p.Conn.Close()
+	res, _, err := core.RunSharedContext(ctx, p, q)
+	if err != nil {
+		return nil, s.labeled(id, err)
+	}
+	return res, nil
+}
+
+// Precompute executes the offline phase of q's plan on a background
+// stream — OT pool fills and ahead-of-time garbling can overlap online
+// queries running on other streams. The staged material is parked and
+// consumed by the next Run/RunShared on this session; both parties
+// must keep their call sequences aligned, as always.
+func (s *Session) Precompute(ctx context.Context, q *Query) (*Trace, error) {
+	p, id, err := s.sess.NextParty(mpc.PartyOpts{})
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.tracer != nil {
+		p.Track = s.cfg.tracer.Track(fmt.Sprintf("%s/stream-%d", s.role, id))
+	}
+	tr, err := core.Precompute(ctx, p, q)
+	if err != nil {
+		p.Conn.Close()
+		return tr, s.labeled(id, err)
+	}
+	s.mu.Lock()
+	s.staged = append(s.staged, stagedParty{p: p, id: id})
+	s.mu.Unlock()
+	return tr, nil
+}
+
+// RevealRatio reveals (num·scale)/den per result row to Alice on a
+// fresh stream — the composition used for AVG and market-share style
+// aggregates over two RunShared results.
+func (s *Session) RevealRatio(ctx context.Context, num, den *SharedResult, scale uint64) (*Relation, error) {
+	p, id, err := s.party()
+	if err != nil {
+		return nil, err
+	}
+	defer p.Conn.Close()
+	pp, release := p.WithContext(ctx)
+	defer release()
+	rel, err := core.RevealRatio(pp, num, den, scale)
+	if err != nil {
+		return nil, s.labeled(id, err)
+	}
+	return rel, nil
+}
+
+// Explain derives the execution plan and communication estimate for q
+// under this session's ring. Options: WithEstOut.
+func (s *Session) Explain(q *Query, opts ...Option) (*Plan, error) {
+	cfg := s.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return core.Explain(q, cfg.ring.OrDefault().Bits, cfg.estOut)
+}
+
+// Stats snapshots the session's rolled-up traffic.
+func (s *Session) Stats() SessionStats { return s.sess.Stats() }
+
+// Err returns the session-fatal error, or nil while healthy.
+func (s *Session) Err() error { return s.sess.Err() }
+
+// Close ends the session; in-flight executions fail with ErrClosed.
+func (s *Session) Close() error { return s.sess.Close() }
+
+// labeled ensures an execution error carries its stream id (executor
+// errors are already phase/op-labeled; transport errors arrive
+// pre-labeled by the mux and are left alone).
+func (s *Session) labeled(id uint32, err error) error {
+	var se *StreamError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &StreamError{Stream: id, Err: err}
+}
