@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all test short race race-sessions bench bench-json vet fuzz
+.PHONY: all test short race race-sessions race-chunks bench bench-json vet fuzz
 
 all: vet test
 
@@ -30,6 +30,13 @@ race:
 race-sessions:
 	$(GO) test -race -count=3 -timeout 30m -run 'Mux|Fault|Session' ./internal/transport ./internal/mpc ./internal/core .
 
+# The chunk-invariance suites under the race detector, repeated: the
+# streaming executor must produce byte-identical transcripts at every
+# chunk size, including under concurrent workers and the offline/online
+# overlap (see DESIGN.md §12).
+race-chunks:
+	$(GO) test -race -count=3 -timeout 30m -run 'Chunk' ./internal/relation ./internal/core ./internal/benchmark .
+
 # Worker-count scaling benchmarks for the parallel kernels (IKNP
 # extension, garbling/evaluation, bit-matrix transpose) plus the
 # remaining micro-benchmarks. Paper-figure benchmarks live behind
@@ -54,3 +61,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzTranspose -fuzztime 10s ./internal/bitutil
 	$(GO) test -run '^$$' -fuzz FuzzRecvFraming -fuzztime 10s ./internal/transport
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 10s ./internal/sqlfront
+	$(GO) test -run '^$$' -fuzz FuzzChunkedScan -fuzztime 10s ./internal/relation

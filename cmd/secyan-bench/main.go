@@ -39,6 +39,8 @@ func main() {
 	workers := flag.Int("workers", 0, "crypto-kernel worker count, 0 for GOMAXPROCS; pin to 1 for strictly serial reference runs")
 	phases := flag.Bool("phases", false, "after each figure, print the per-phase communication/round/time breakdown of the measured secure runs")
 	precompute := flag.Bool("precompute", false, "run the plan-driven offline phase (OT pools, ahead-of-time garbling) before each measured secure run and report the offline/online split")
+	chunk := flag.Int("chunk", 0, "executor chunk size in tuples for measured secure runs: bounds the tuple-plane working set without changing a byte on the wire (0 = default 4096, negative = fully materialized)")
+	mem := flag.Bool("mem", false, "after each figure, print the memory profile of the measured secure runs (sampled peak heap, live-heap delta, bytes allocated)")
 	jsonOut := flag.String("json", "", "write all figure points as JSON to this file (\"-\" for stdout)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/step on this address while benchmarking (enables metrics collection)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the measured secure runs to this file")
@@ -72,6 +74,7 @@ func main() {
 		Ring:        share.Ring{Bits: *ell},
 		Seed:        *seed,
 		Precompute:  *precompute,
+		ChunkSize:   *chunk,
 	}
 	if *traceOut != "" {
 		opt.Tracer = obs.NewTracer()
@@ -120,6 +123,10 @@ func main() {
 		if *phases {
 			fmt.Println()
 			benchmark.PrintPhases(os.Stdout, points)
+		}
+		if *mem {
+			fmt.Println()
+			benchmark.PrintMemory(os.Stdout, points)
 		}
 	}
 	if !ran {

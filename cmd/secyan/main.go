@@ -49,6 +49,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/step on this address (enables metrics collection)")
 	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server (and process) alive this long after the run finishes, so the final metrics can still be scraped")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
+	chunk := flag.Int("chunk", 0, "executor chunk size in tuples: bounds per-operator memory without changing a byte on the wire (0 = default 4096, negative = fully materialized); parties may even choose different sizes, transcripts are identical")
 	flag.Parse()
 
 	var spec queries.Spec
@@ -68,6 +69,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *chunk != 0 {
+		relation.SetDefaultChunkSize(*chunk)
+	}
 	db := tpch.Generate(tpch.Config{ScaleMB: *scale, Seed: *seed})
 	fmt.Printf("dataset: %.3g MB (%d tuples total), query %s\n", *scale, db.TotalRows(), spec.Name)
 	ring := share.Ring{Bits: 32}

@@ -69,6 +69,10 @@ type Point struct {
 	// Zero for extrapolated points.
 	HeapAllocDeltaBytes  int64 `json:"heap_alloc_delta_bytes,omitempty"`
 	TotalAllocDeltaBytes int64 `json:"total_alloc_delta_bytes,omitempty"`
+	// PeakHeapBytes is the largest live heap sampled during a measured
+	// secure run — the memory ceiling the chunk size is meant to bound.
+	// Zero for extrapolated points and other methods.
+	PeakHeapBytes int64 `json:"peak_heap_bytes,omitempty"`
 	// Phases breaks the measured secure run down by protocol phase, in
 	// execution order; nil for extrapolated points and other methods.
 	Phases []PhaseCost `json:"phases,omitempty"`
@@ -122,6 +126,11 @@ type Options struct {
 	// the shape several times; only the first pass is primed, the rest
 	// fall back to the direct protocols.
 	Precompute bool
+	// ChunkSize bounds the executor's tuple-plane working set during
+	// measured secure runs: > 0 streams relations in windows of that
+	// many tuples, 0 keeps the process default, < 0 materializes fully.
+	// Transcript-invariant — Bytes is identical for every setting.
+	ChunkSize int
 }
 
 // DefaultOptions mirror the paper's setup at laptop-friendly scales.
@@ -237,9 +246,39 @@ func calibrateGC(ring share.Ring) (gcbaseline.Calibration, error) {
 	return cal, err
 }
 
+// startHeapSampler starts a background live-heap sampler; the returned
+// stop function ends it and reports the peak HeapAlloc observed.
+func startHeapSampler() (stop func() int64) {
+	done := make(chan struct{})
+	res := make(chan int64, 1)
+	go func() {
+		var peak int64
+		var ms runtime.MemStats
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				res <- peak
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if h := int64(ms.HeapAlloc); h > peak {
+					peak = h
+				}
+			}
+		}
+	}()
+	return func() int64 { close(done); return <-res }
+}
+
 // runSecure executes the full protocol once and measures wall time and
 // Alice's total traffic.
 func runSecure(spec queries.Spec, db *tpch.DB, scale float64, opt Options) (Point, error) {
+	if opt.ChunkSize != 0 {
+		prev := relation.SetDefaultChunkSize(opt.ChunkSize)
+		defer relation.SetDefaultChunkSize(prev)
+	}
 	alice, bob := mpc.Pair(opt.Ring)
 	defer alice.Conn.Close()
 	defer bob.Conn.Close()
@@ -263,6 +302,7 @@ func runSecure(spec queries.Spec, db *tpch.DB, scale float64, opt Options) (Poin
 	runtime.GC()
 	var msBefore, msAfter runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
+	stopSampler := startHeapSampler()
 	start := time.Now()
 	var offSeconds float64
 	var offBytes int64
@@ -307,6 +347,7 @@ func runSecure(spec queries.Spec, db *tpch.DB, scale float64, opt Options) (Poin
 	}
 	runtime.ReadMemStats(&msAfter)
 	pt.memDelta(&msBefore, &msAfter)
+	pt.PeakHeapBytes = stopSampler()
 	return pt, nil
 }
 
@@ -322,6 +363,20 @@ func PrintPhases(w io.Writer, points []Point) {
 			fmt.Fprintf(w, "  %-10s %12s %6d rounds %10.3fs\n",
 				pc.Phase, humanBytes(float64(pc.Bytes)), pc.Rounds, pc.Seconds)
 		}
+	}
+}
+
+// PrintMemory renders the allocator view of each measured secure point:
+// live-heap growth, cumulative allocation, and the sampled peak heap
+// the chunk size bounds.
+func PrintMemory(w io.Writer, points []Point) {
+	for _, p := range points {
+		if p.Method != MethodSecure || p.Extrapolated || p.PeakHeapBytes == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%s at %gMB, secure run memory: peak heap %s, heap delta %s, allocated %s\n",
+			p.Query, p.ScaleMB, humanBytes(float64(p.PeakHeapBytes)),
+			humanBytes(float64(p.HeapAllocDeltaBytes)), humanBytes(float64(p.TotalAllocDeltaBytes)))
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 
 	"secyan/internal/gc"
 	"secyan/internal/mpc"
@@ -75,8 +76,16 @@ func buildMergeCircuit(n, ell int, kind mergeKind) *gc.Circuit {
 }
 
 // runMerge executes the sort + OEP + merge-chain pipeline shared by
-// Aggregate and ProjectOne, returning the new SharedRelation.
-func runMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []relation.Attr, kind mergeKind) (*SharedRelation, error) {
+// Aggregate and ProjectOne, returning the new SharedRelation. The
+// holder's sorted view is streamed: SortPermByColumns derives the
+// permutation without cloning the relation, a PermScanner yields
+// chunk-bounded sorted windows, and the merge chain's adjacent-row
+// group-boundary bits need exactly one row of carry between chunks —
+// the tuple-plane working set is O(chunk) where the materialized path
+// cloned the whole relation. The OEP program, circuit bits and output
+// relation remain O(n): they are the protocol's public-size wire
+// contract, identical for every chunk size.
+func runMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []relation.Attr, kind mergeKind, chunk int) (*SharedRelation, error) {
 	outSchema, err := relation.NewSchema(groupBy...)
 	if err != nil {
 		return nil, err
@@ -89,7 +98,7 @@ func runMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []
 	if s.Plain {
 		// §6.5: the holder knows the annotations, so the whole
 		// aggregation is local — no OEP, no circuit, no communication.
-		return localMerge(p, dg, s, groupBy, kind, outSchema)
+		return localMerge(p, dg, s, groupBy, kind, outSchema, chunk)
 	}
 	ell := p.Ring.Bits
 	circ := buildMergeCircuit(n, ell, kind)
@@ -99,35 +108,50 @@ func runMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []
 		if err != nil {
 			return nil, err
 		}
-		sorted := s.Rel.Clone()
-		perm := sorted.SortByColumns(cols)
+		perm := relation.SortPermByColumns(s.Rel, cols)
 		annot, err := oep.RunPermuteProgrammer(p, perm, s.Annot)
 		if err != nil {
 			return nil, fmt.Errorf("core: aggregate OEP: %w", err)
 		}
-		// Evaluator inputs: shares and group-boundary bits.
+		// Evaluator inputs: shares and group-boundary bits, streamed over
+		// the sorted view with a one-row carry across chunk boundaries.
 		evalBits := make([]bool, 0, n*(ell+1))
-		for i := 0; i < n; i++ {
-			evalBits = gc.AppendBits(evalBits, annot[i], ell)
-			if i > 0 {
-				evalBits = append(evalBits, rowsEqualOn(sorted, i-1, i, cols))
+		var prev []uint64
+		i := 0
+		if err := scanChunks(relation.NewPermScanner(s.Rel, perm, nil, chunk), func(ch *relation.Chunk) error {
+			for r := range ch.Tuples {
+				evalBits = gc.AppendBits(evalBits, annot[i], ell)
+				if i > 0 {
+					evalBits = append(evalBits, rowsMatch(prev, ch.Tuples[r], cols))
+				}
+				prev = ch.Tuples[r]
+				i++
 			}
+			return nil
+		}); err != nil {
+			return nil, err
 		}
 		out, err := p.RunCircuit(circ, evalBits, nil, s.Holder.Other())
 		if err != nil {
 			return nil, err
 		}
-		// Build the output relation: the last row of each group keeps its
-		// group values; every other row becomes a fresh dummy.
+		// Build the output relation in a second streamed pass: the last
+		// row of each group keeps its group values; every other row
+		// becomes a fresh dummy. "Last" looks one row ahead, so each row
+		// is emitted when its successor arrives (held across chunks).
 		res := relation.New(outSchema)
 		newAnnot := make([]uint64, n)
-		for i := 0; i < n; i++ {
-			newAnnot[i] = p.Ring.Mask(gc.UintOfBits(out[i*ell : (i+1)*ell]))
-			last := i == n-1 || !rowsEqualOn(sorted, i, i+1, cols)
+		relation.Range(n, chunk, func(lo, hi int) error {
+			for j := lo; j < hi; j++ {
+				newAnnot[j] = p.Ring.Mask(gc.UintOfBits(out[j*ell : (j+1)*ell]))
+			}
+			return nil
+		})
+		emit := func(held []uint64, last bool) {
 			row := make([]uint64, len(cols))
 			if last {
 				for c, cc := range cols {
-					row[c] = sorted.Tuples[i][cc]
+					row[c] = held[cc]
 				}
 			} else {
 				for c := range row {
@@ -136,6 +160,19 @@ func runMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []
 			}
 			res.Append(row, 0)
 		}
+		var held []uint64
+		if err := scanChunks(relation.NewPermScanner(s.Rel, perm, nil, chunk), func(ch *relation.Chunk) error {
+			for r := range ch.Tuples {
+				if held != nil {
+					emit(held, !rowsMatch(held, ch.Tuples[r], cols))
+				}
+				held = ch.Tuples[r]
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		emit(held, true)
 		return &SharedRelation{Holder: s.Holder, Schema: outSchema, N: n, Rel: res, Annot: newAnnot}, nil
 	}
 
@@ -168,7 +205,9 @@ func runMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []
 // reproducing the exact output structure of the oblivious protocol (last
 // tuple of each sorted group carries the aggregate, all other positions
 // are fresh dummies), so downstream operators cannot tell the difference.
-func localMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []relation.Attr, kind mergeKind, outSchema relation.Schema) (*SharedRelation, error) {
+// Like runMerge, the sorted view is streamed — no clone — with the
+// running aggregate and one held row carried across chunk boundaries.
+func localMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []relation.Attr, kind mergeKind, outSchema relation.Schema, chunk int) (*SharedRelation, error) {
 	n := s.N
 	if !s.IsHolder(p) {
 		return &SharedRelation{Holder: s.Holder, Schema: outSchema, N: n,
@@ -178,29 +217,20 @@ func localMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy 
 	if err != nil {
 		return nil, err
 	}
-	sorted := s.Rel.Clone()
-	sorted.Annot = append([]uint64(nil), s.Annot...)
-	sorted.SortByColumns(cols)
+	perm := relation.SortPermByColumns(s.Rel, cols)
 
 	res := relation.New(outSchema)
 	annot := make([]uint64, n)
 	var run uint64
-	for i := 0; i < n; i++ {
-		switch kind {
-		case mergeSum:
-			run = p.Ring.Add(run, sorted.Annot[i])
-		case mergeOr:
-			if sorted.Annot[i] != 0 {
-				run = 1
-			}
-		}
-		last := i == n-1 || !rowsEqualOn(sorted, i, i+1, cols)
+	var held []uint64
+	heldIdx := -1
+	emit := func(last bool) {
 		row := make([]uint64, len(cols))
 		if last {
 			for c, cc := range cols {
-				row[c] = sorted.Tuples[i][cc]
+				row[c] = held[cc]
 			}
-			annot[i] = run
+			annot[heldIdx] = run
 			run = 0
 		} else {
 			for c := range row {
@@ -209,18 +239,57 @@ func localMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy 
 		}
 		res.Append(row, 0)
 	}
+	i := 0
+	if err := scanChunks(relation.NewPermScanner(s.Rel, perm, s.Annot, chunk), func(ch *relation.Chunk) error {
+		for r := range ch.Tuples {
+			if held != nil {
+				emit(!rowsMatch(held, ch.Tuples[r], cols))
+			}
+			switch kind {
+			case mergeSum:
+				run = p.Ring.Add(run, ch.Annot[r])
+			case mergeOr:
+				if ch.Annot[r] != 0 {
+					run = 1
+				}
+			}
+			held = ch.Tuples[r]
+			heldIdx = i
+			i++
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	emit(true)
 	return &SharedRelation{Holder: s.Holder, Schema: outSchema, N: n, Rel: res,
 		Annot: annot, Plain: true}, nil
 }
 
-// rowsEqualOn compares two rows of r on the given columns.
-func rowsEqualOn(r *relation.Relation, i, j int, cols []int) bool {
+// rowsMatch compares two rows on the given columns.
+func rowsMatch(a, b []uint64, cols []int) bool {
 	for _, c := range cols {
-		if r.Tuples[i][c] != r.Tuples[j][c] {
+		if a[c] != b[c] {
 			return false
 		}
 	}
 	return true
+}
+
+// scanChunks drains a Scanner, invoking fn per chunk.
+func scanChunks(sc relation.Scanner, fn func(*relation.Chunk) error) error {
+	for {
+		ch, err := sc.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(ch); err != nil {
+			return err
+		}
+	}
 }
 
 // holderRel returns rel on the holder side and nil elsewhere.
@@ -235,12 +304,12 @@ func holderRel(p *mpc.Party, s *SharedRelation, rel *relation.Relation) *relatio
 // (paper §6.1). The output has the same public size as the input; dummy
 // positions carry shares of zero.
 func Aggregate(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []relation.Attr) (*SharedRelation, error) {
-	return runMerge(p, dg, s, groupBy, mergeSum)
+	return runMerge(p, dg, s, groupBy, mergeSum, 0)
 }
 
 // ProjectOne computes the oblivious π¹_attrs(s) (paper §6.1): the output
 // relation is semantically equivalent to the distinct attrs-values of the
 // nonzero-annotated tuples, each annotated with a share of 1.
 func ProjectOne(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, attrs []relation.Attr) (*SharedRelation, error) {
-	return runMerge(p, dg, s, attrs, mergeOr)
+	return runMerge(p, dg, s, attrs, mergeOr, 0)
 }

@@ -39,11 +39,27 @@ func Run(p *mpc.Party, q *Query) (*relation.Relation, error) {
 	return rel, err
 }
 
+// ExecOptions tunes a plan execution without affecting its transcript.
+type ExecOptions struct {
+	// ChunkSize bounds the tuple-plane working set of every operator: a
+	// positive tuple count streams relations in chunks of that size, 0
+	// uses the process default (relation.DefaultChunkSize), and any
+	// negative value (relation.Unbounded) materializes fully. Results,
+	// per-step traces and per-stream transport stats are byte-identical
+	// for every value — the chunk-invariance suites pin this.
+	ChunkSize int
+}
+
 // RunContext is Run with cancellation and per-step observability: it
 // additionally returns the execution trace (one TraceStep per plan
 // step, in plan order), which is valid — as a prefix — even on error.
 func RunContext(ctx context.Context, p *mpc.Party, q *Query) (*relation.Relation, *Trace, error) {
-	_, rel, tr, err := runPlan(ctx, p, q, false)
+	return RunContextOpts(ctx, p, q, ExecOptions{})
+}
+
+// RunContextOpts is RunContext with execution options.
+func RunContextOpts(ctx context.Context, p *mpc.Party, q *Query, opts ExecOptions) (*relation.Relation, *Trace, error) {
+	_, rel, tr, err := runPlan(ctx, p, q, false, opts)
 	return rel, tr, err
 }
 
@@ -57,20 +73,25 @@ func RunShared(p *mpc.Party, q *Query) (*SharedResult, error) {
 
 // RunSharedContext is RunShared with cancellation and tracing.
 func RunSharedContext(ctx context.Context, p *mpc.Party, q *Query) (*SharedResult, *Trace, error) {
-	res, _, tr, err := runPlan(ctx, p, q, true)
+	return RunSharedContextOpts(ctx, p, q, ExecOptions{})
+}
+
+// RunSharedContextOpts is RunSharedContext with execution options.
+func RunSharedContextOpts(ctx context.Context, p *mpc.Party, q *Query, opts ExecOptions) (*SharedResult, *Trace, error) {
+	res, _, tr, err := runPlan(ctx, p, q, true, opts)
 	return res, tr, err
 }
 
 // runPlan compiles q and executes the plan step by step. When shared is
 // true the final reveal steps are skipped and the shared result
 // returned; otherwise the result relation is revealed to Alice.
-func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool) (*SharedResult, *relation.Relation, *Trace, error) {
+func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool, opts ExecOptions) (*SharedResult, *relation.Relation, *Trace, error) {
 	if err := q.Validate(p.Role); err != nil {
 		return nil, nil, nil, err
 	}
 	// Run compiles with estOut=0: the step sequence is estOut-independent
 	// and the true output size is only known at run time.
-	plan, err := compileQuery(q, p.Ring.Bits, 0)
+	plan, err := compileQuery(q, p.Ring.Bits, 0, opts.ChunkSize)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -85,7 +106,8 @@ func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool) (*SharedR
 			ownRels = append(ownRels, in.Rel)
 		}
 	}
-	ex := &executor{p: pp, q: q, plan: plan, dg: relation.NewDummyGenAfter(ownRels...),
+	ex := &executor{p: pp, q: q, plan: plan, chunk: plan.ChunkSize,
+		dg:  relation.NewDummyGenAfter(ownRels...),
 		srs: make([]*SharedRelation, len(q.Inputs)), revealed: map[int]*relation.Relation{}}
 
 	mPlanRuns.Inc()
@@ -188,10 +210,11 @@ func stepErr(st *PlanStep, err error) error {
 
 // executor is the mutable state of one plan execution on one party.
 type executor struct {
-	p    *mpc.Party
-	q    *Query
-	plan *Plan
-	dg   *relation.DummyGen
+	p     *mpc.Party
+	q     *Query
+	plan  *Plan
+	dg    *relation.DummyGen
+	chunk int // tuple-plane streaming granularity (plan.ChunkSize)
 
 	srs      []*SharedRelation          // per tree node, updated in place
 	pending  *SharedRelation            // aggregate/π¹ result feeding the next semijoin-into
@@ -222,7 +245,7 @@ func (ex *executor) exec(st *PlanStep) error {
 		var sr *SharedRelation
 		var err error
 		if st.kind == stepShareInput {
-			sr, err = ShareInput(p, in.Owner, in.Rel, in.Schema, in.N)
+			sr, err = shareInputChunked(p, in.Owner, in.Rel, in.Schema, in.N, ex.chunk)
 		} else {
 			sr, err = NewPlainInput(p, in.Owner, in.Rel, in.Schema, in.N)
 		}
@@ -232,7 +255,7 @@ func (ex *executor) exec(st *PlanStep) error {
 		ex.srs[st.node] = sr
 		return nil
 	case stepAggregate:
-		agg, err := Aggregate(p, ex.dg, ex.srs[st.node], st.attrs)
+		agg, err := runMerge(p, ex.dg, ex.srs[st.node], st.attrs, mergeSum, ex.chunk)
 		if err != nil {
 			return err
 		}
@@ -243,7 +266,7 @@ func (ex *executor) exec(st *PlanStep) error {
 		}
 		return nil
 	case stepProjectOne:
-		ind, err := ProjectOne(p, ex.dg, ex.srs[st.node], st.attrs)
+		ind, err := runMerge(p, ex.dg, ex.srs[st.node], st.attrs, mergeOr, ex.chunk)
 		if err != nil {
 			return err
 		}
@@ -252,21 +275,21 @@ func (ex *executor) exec(st *PlanStep) error {
 	case stepSemijoinInto:
 		child := ex.pending
 		ex.pending = nil
-		joined, err := SemijoinInto(p, ex.dg, ex.srs[st.parent], child)
+		joined, err := semijoinIntoChunked(p, ex.dg, ex.srs[st.parent], child, ex.chunk)
 		if err != nil {
 			return err
 		}
 		ex.srs[st.parent] = joined
 		return nil
 	case stepRevealRelation:
-		res, err := RevealRelation(p, ex.srs[st.node])
+		res, err := revealRelationChunked(p, ex.srs[st.node], ex.chunk)
 		if err != nil {
 			return err
 		}
 		ex.result = res
 		return nil
 	case stepRevealRows:
-		r, err := revealNonzeroRows(p, ex.srs[st.node])
+		r, err := revealNonzeroRows(p, ex.srs[st.node], ex.chunk)
 		if err != nil {
 			return err
 		}
@@ -325,13 +348,20 @@ func (ex *executor) alignNode(node int) error {
 	var f []uint64
 	var err error
 	if p.Role == mpc.Alice {
+		// The OEP program is O(out) by protocol shape; its assembly
+		// strides in chunks like every other tuple-plane loop.
 		xi := make([]int, ex.out)
-		for row := 0; row < ex.out; row++ {
-			src := ex.prov.Sources[row][node]
-			if src < 0 {
-				return fmt.Errorf("core: missing provenance for node %d", node)
+		if err := relation.Range(ex.out, ex.chunk, func(lo, hi int) error {
+			for row := lo; row < hi; row++ {
+				src := ex.prov.Sources[row][node]
+				if src < 0 {
+					return fmt.Errorf("core: missing provenance for node %d", node)
+				}
+				xi[row] = src
 			}
-			xi[row] = src
+			return nil
+		}); err != nil {
+			return err
 		}
 		f, err = oep.RunProgrammer(p, xi, s.N, s.Annot)
 	} else {
@@ -364,25 +394,34 @@ func (ex *executor) annotationProduct() error {
 	annot := make([]uint64, out)
 	if p.Role == mpc.Alice {
 		evalBits := make([]bool, 0, out*k*ell)
-		for row := 0; row < out; row++ {
-			for fi := 0; fi < k; fi++ {
-				evalBits = gc.AppendBits(evalBits, ex.factors[fi][row], ell)
+		relation.Range(out, ex.chunk, func(lo, hi int) error {
+			for row := lo; row < hi; row++ {
+				for fi := 0; fi < k; fi++ {
+					evalBits = gc.AppendBits(evalBits, ex.factors[fi][row], ell)
+				}
 			}
-		}
+			return nil
+		})
 		bits, err := p.RunCircuit(circ, evalBits, nil, mpc.Bob)
 		if err != nil {
 			return err
 		}
-		for row := 0; row < out; row++ {
-			annot[row] = p.Ring.Mask(gc.UintOfBits(bits[row*ell : (row+1)*ell]))
-		}
+		relation.Range(out, ex.chunk, func(lo, hi int) error {
+			for row := lo; row < hi; row++ {
+				annot[row] = p.Ring.Mask(gc.UintOfBits(bits[row*ell : (row+1)*ell]))
+			}
+			return nil
+		})
 	} else {
 		priv := make([]bool, 0, out*(k+1)*ell)
-		for row := 0; row < out; row++ {
-			for fi := 0; fi < k; fi++ {
-				priv = gc.AppendBits(priv, ex.factors[fi][row], ell)
+		relation.Range(out, ex.chunk, func(lo, hi int) error {
+			for row := lo; row < hi; row++ {
+				for fi := 0; fi < k; fi++ {
+					priv = gc.AppendBits(priv, ex.factors[fi][row], ell)
+				}
 			}
-		}
+			return nil
+		})
 		for row := 0; row < out; row++ {
 			r := p.Ring.Random(p.PRG)
 			annot[row] = r

@@ -67,8 +67,10 @@ func buildRevealCircuit(n, cols, ell int, withRows bool) *gc.Circuit {
 // revealNonzeroRows reveals the nonzero-annotated tuples of s to Alice.
 // On Alice's side it returns a relation with s.N rows whose annotation
 // field is 1 for revealed (real, nonzero) tuples and 0 otherwise; Bob
-// receives nil. Message sizes depend only on public parameters.
-func revealNonzeroRows(p *mpc.Party, s *SharedRelation) (*relation.Relation, error) {
+// receives nil. Message sizes depend only on public parameters. Bit and
+// row assembly stride in chunks; the single circuit (or single direct
+// message) is the wire contract and stays whole.
+func revealNonzeroRows(p *mpc.Party, s *SharedRelation, chunk int) (*relation.Relation, error) {
 	n := s.N
 	cols := len(s.Schema.Attrs)
 	ell := p.Ring.Bits
@@ -83,7 +85,7 @@ func revealNonzeroRows(p *mpc.Party, s *SharedRelation) (*relation.Relation, err
 		// §6.5: the holder knows the zero pattern, so no circuit is
 		// needed — Alice filters locally, or Bob sends rows-or-dummies
 		// directly (revealing exactly R*, which the model permits).
-		return revealPlainRows(p, s)
+		return revealPlainRows(p, s, chunk)
 	}
 	circ := buildRevealCircuit(n, cols, ell, withRows)
 
@@ -94,42 +96,48 @@ func revealNonzeroRows(p *mpc.Party, s *SharedRelation) (*relation.Relation, err
 			return nil, err
 		}
 		res := relation.New(s.Schema)
-		for i := 0; i < n; i++ {
-			if !withRows {
-				zero := out[i]
-				row := append([]uint64(nil), s.Rel.Tuples[i]...)
+		relation.Range(n, chunk, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				if !withRows {
+					zero := out[i]
+					row := append([]uint64(nil), s.Rel.Tuples[i]...)
+					flag := uint64(1)
+					if zero || s.Rel.IsDummy(i) {
+						flag = 0
+					}
+					res.Append(row, flag)
+					continue
+				}
+				row := make([]uint64, cols)
 				flag := uint64(1)
-				if zero || s.Rel.IsDummy(i) {
-					flag = 0
+				for c := 0; c < cols; c++ {
+					off := (i*cols + c) * attrBits
+					row[c] = gc.UintOfBits(out[off : off+attrBits])
+					if row[c] == dummyMarker || relation.IsDummyValue(row[c]) {
+						flag = 0
+					}
 				}
 				res.Append(row, flag)
-				continue
 			}
-			row := make([]uint64, cols)
-			flag := uint64(1)
-			for c := 0; c < cols; c++ {
-				off := (i*cols + c) * attrBits
-				row[c] = gc.UintOfBits(out[off : off+attrBits])
-				if row[c] == dummyMarker || relation.IsDummyValue(row[c]) {
-					flag = 0
-				}
-			}
-			res.Append(row, flag)
-		}
+			return nil
+		})
 		return res, nil
 	}
 
 	// Bob's side: garbler with private shares (and rows when he holds
 	// them).
 	priv := make([]bool, 0, n*(ell+cols*attrBits))
-	for i := 0; i < n; i++ {
-		priv = gc.AppendBits(priv, s.Annot[i], ell)
-		if withRows {
-			for c := 0; c < cols; c++ {
-				priv = gc.AppendBits(priv, s.Rel.Tuples[i][c], attrBits)
+	relation.Range(n, chunk, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			priv = gc.AppendBits(priv, s.Annot[i], ell)
+			if withRows {
+				for c := 0; c < cols; c++ {
+					priv = gc.AppendBits(priv, s.Rel.Tuples[i][c], attrBits)
+				}
 			}
 		}
-	}
+		return nil
+	})
 	if _, err := p.RunCircuit(circ, nil, priv, mpc.Bob); err != nil {
 		return nil, err
 	}
@@ -138,35 +146,42 @@ func revealNonzeroRows(p *mpc.Party, s *SharedRelation) (*relation.Relation, err
 
 // revealPlainRows is the plaintext-annotation fast path of the reveal
 // step: no garbled circuit, at most one direct message.
-func revealPlainRows(p *mpc.Party, s *SharedRelation) (*relation.Relation, error) {
+func revealPlainRows(p *mpc.Party, s *SharedRelation, chunk int) (*relation.Relation, error) {
 	cols := len(s.Schema.Attrs)
 	if s.Holder == mpc.Alice {
 		if p.Role != mpc.Alice {
 			return nil, nil // nothing to do: Alice filters locally
 		}
 		res := relation.New(s.Schema)
-		for i := 0; i < s.N; i++ {
-			flag := uint64(1)
-			if s.Annot[i] == 0 || s.Rel.IsDummy(i) {
-				flag = 0
+		relation.Range(s.N, chunk, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				flag := uint64(1)
+				if s.Annot[i] == 0 || s.Rel.IsDummy(i) {
+					flag = 0
+				}
+				res.Append(append([]uint64(nil), s.Rel.Tuples[i]...), flag)
 			}
-			res.Append(append([]uint64(nil), s.Rel.Tuples[i]...), flag)
-		}
+			return nil
+		})
 		return res, nil
 	}
 	// Bob holds the rows: he sends each real nonzero row, or dummy
-	// markers, in one message of public size.
+	// markers, in one message of public size. Chunking assembles the
+	// message in windows but never splits it — one message either way.
 	if p.Role == mpc.Bob {
 		msg := make([]uint64, 0, s.N*cols)
-		for i := 0; i < s.N; i++ {
-			for c := 0; c < cols; c++ {
-				v := s.Rel.Tuples[i][c]
-				if s.Annot[i] == 0 || s.Rel.IsDummy(i) {
-					v = dummyMarker
+		relation.Range(s.N, chunk, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				for c := 0; c < cols; c++ {
+					v := s.Rel.Tuples[i][c]
+					if s.Annot[i] == 0 || s.Rel.IsDummy(i) {
+						v = dummyMarker
+					}
+					msg = append(msg, v)
 				}
-				msg = append(msg, v)
 			}
-		}
+			return nil
+		})
 		return nil, transport.SendUint64s(p.Conn, msg)
 	}
 	vals, err := transport.RecvUint64s(p.Conn)
@@ -177,17 +192,20 @@ func revealPlainRows(p *mpc.Party, s *SharedRelation) (*relation.Relation, error
 		return nil, fmt.Errorf("core: plain reveal got %d values, want %d", len(vals), s.N*cols)
 	}
 	res := relation.New(s.Schema)
-	for i := 0; i < s.N; i++ {
-		row := make([]uint64, cols)
-		flag := uint64(1)
-		for c := 0; c < cols; c++ {
-			row[c] = vals[i*cols+c]
-			if row[c] == dummyMarker || relation.IsDummyValue(row[c]) {
-				flag = 0
+	relation.Range(s.N, chunk, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			row := make([]uint64, cols)
+			flag := uint64(1)
+			for c := 0; c < cols; c++ {
+				row[c] = vals[i*cols+c]
+				if row[c] == dummyMarker || relation.IsDummyValue(row[c]) {
+					flag = 0
+				}
 			}
+			res.Append(row, flag)
 		}
-		res.Append(row, flag)
-	}
+		return nil
+	})
 	return res, nil
 }
 
@@ -240,7 +258,7 @@ func ObliviousJoin(p *mpc.Party, tree *jointree.Tree, srs []*SharedRelation, nod
 	// Step 1: reveal nonzero tuples of every participating relation.
 	revealed := make(map[int]*relation.Relation, len(order))
 	for _, node := range order {
-		r, err := revealNonzeroRows(p, srs[node])
+		r, err := revealNonzeroRows(p, srs[node], 0)
 		if err != nil {
 			return nil, fmt.Errorf("core: reveal node %d: %w", node, err)
 		}
@@ -388,7 +406,13 @@ func unionSchema(srs []*SharedRelation, order []int) relation.Schema {
 // single node (e.g. TPC-H Q3, §8.1), where the relation *is* the query
 // result. Alice receives the filtered relation; Bob receives nil.
 func RevealRelation(p *mpc.Party, s *SharedRelation) (*relation.Relation, error) {
-	revealed, err := revealNonzeroRows(p, s)
+	return revealRelationChunked(p, s, 0)
+}
+
+// revealRelationChunked is RevealRelation with an explicit tuple-plane
+// chunk size (0 = process default, negative = unbounded).
+func revealRelationChunked(p *mpc.Party, s *SharedRelation, chunk int) (*relation.Relation, error) {
+	revealed, err := revealNonzeroRows(p, s, chunk)
 	if err != nil {
 		return nil, err
 	}

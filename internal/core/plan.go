@@ -73,6 +73,12 @@ type PlanStep struct {
 	// directions). Join-phase steps scale with the (unknown) output size
 	// and use EstOut.
 	EstBytes int64
+	// Chunks is the step's chunk demand under the plan's ChunkSize: the
+	// number of chunk-sized windows its tuple-plane loops process
+	// (⌈N/ChunkSize⌉; 0 for size-independent steps). It sits next to the
+	// preOT/preCirc demands: a description of the step's data plane, with
+	// no effect on the wire — chunking is transcript-invariant.
+	Chunks int
 	// EstOfflineBytes and EstOnlineBytes split the step's traffic under
 	// the precomputed schedule: offline moves the base OTs and the
 	// OT-extension correction matrices, online keeps everything else
@@ -118,6 +124,12 @@ type Plan struct {
 	EstOnlineBytes  int64
 	// EstOut is the output-size assumption used for join-phase steps.
 	EstOut int
+	// ChunkSize is the tuple-plane streaming granularity the executor
+	// will run this plan with: a positive tuple count, or
+	// relation.Unbounded for fully materialized execution. It bounds
+	// per-operator working-set memory and nothing else — transcripts are
+	// identical for every value (see DESIGN.md §12).
+	ChunkSize int
 
 	tree       *jointree.Tree
 	joinOrder  []int // sorted surviving nodes of the final join (nil when single)
@@ -129,7 +141,14 @@ type Plan struct {
 // returned Plan is the same object the executor runs: Run differs only
 // in feeding it data.
 func Explain(q *Query, ringBits, estOut int) (*Plan, error) {
-	return compileQuery(q, ringBits, estOut)
+	return compileQuery(q, ringBits, estOut, 0)
+}
+
+// ExplainChunked is Explain with an explicit chunk size (0 = the
+// process default, negative = relation.Unbounded), populating the
+// plan's ChunkSize and per-step chunk demands.
+func ExplainChunked(q *Query, ringBits, estOut, chunk int) (*Plan, error) {
+	return compileQuery(q, ringBits, estOut, chunk)
 }
 
 // nodeState is the public protocol state of one tree node during
@@ -169,13 +188,20 @@ func productCost(n, k, ell int) int64 {
 // estimates only; the step sequence is independent of it, so a plan
 // compiled with estOut=0 (as Run does) produces the same trace shape as
 // one compiled with the true output size.
-func compileQuery(q *Query, ringBits, estOut int) (*Plan, error) {
+func compileQuery(q *Query, ringBits, estOut, chunk int) (*Plan, error) {
 	tree, err := q.Hypergraph().Plan(q.Output)
 	if err != nil {
 		return nil, err
 	}
+	if chunk == 0 {
+		chunk = relation.DefaultChunkSize()
+	}
+	if chunk <= 0 {
+		chunk = relation.Unbounded
+	}
 	ell := ringBits
-	plan := &Plan{Root: q.Inputs[tree.Root].Name, EstOut: estOut, tree: tree, singleNode: -1}
+	plan := &Plan{Root: q.Inputs[tree.Root].Name, EstOut: estOut, ChunkSize: chunk,
+		tree: tree, singleNode: -1}
 	var steps []PlanStep
 	add := func(s PlanStep) { steps = append(steps, s) }
 	// needOT tracks which OT-extension directions the plan uses, indexed
@@ -494,6 +520,7 @@ func (p *Plan) seal(steps []PlanStep, needOT [2]bool) *Plan {
 	p.EstBytes = 0
 	for i := range p.Steps {
 		s := &p.Steps[i]
+		s.Chunks = relation.NumChunks(s.N, p.ChunkSize)
 		p.EstBytes += s.EstBytes
 		// Phase split: base OTs move entirely offline; for every other
 		// step, offline carries its OT batches' correction matrices and

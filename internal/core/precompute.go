@@ -60,7 +60,7 @@ func Precompute(ctx context.Context, p *mpc.Party, q *Query) (*Trace, error) {
 	// No Validate: the offline phase is data-independent, so q may be a
 	// bare query shape (schemas, owners, sizes) with no relations
 	// attached — e.g. queries.PlanFor output.
-	plan, err := compileQuery(q, p.Ring.Bits, 0)
+	plan, err := compileQuery(q, p.Ring.Bits, 0, 0)
 	if err != nil {
 		return nil, err
 	}

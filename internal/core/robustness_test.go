@@ -168,7 +168,9 @@ func TestDuplicateChildKeysRejected(t *testing.T) {
 	rel := relation.New(relation.MustSchema("k"))
 	rel.Append([]uint64{7}, 1)
 	rel.Append([]uint64{7}, 2)
-	if _, err := childKeys(rel); err == nil {
-		t.Fatal("duplicate child keys accepted")
+	for _, chunk := range []int{0, 1, relation.Unbounded} {
+		if _, err := childKeys(rel, chunk); err == nil {
+			t.Fatalf("duplicate child keys accepted (chunk %d)", chunk)
+		}
 	}
 }

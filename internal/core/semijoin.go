@@ -56,8 +56,9 @@ func buildMulCircuit(n, ell int) *gc.Circuit {
 
 // mulShares runs buildMulCircuit over aligned share vectors: the result
 // is a fresh sharing of a_i ⊗ b_i. evalRole receives the circuit outputs;
-// the other party garbles.
-func mulShares(p *mpc.Party, aShares, bShares []uint64, evalRole mpc.Role) ([]uint64, error) {
+// the other party garbles. Bit assembly strides in chunks; the single
+// circuit execution is the protocol's wire contract and stays whole.
+func mulShares(p *mpc.Party, aShares, bShares []uint64, evalRole mpc.Role, chunk int) ([]uint64, error) {
 	if len(aShares) != len(bShares) {
 		return nil, fmt.Errorf("core: mulShares length mismatch %d vs %d", len(aShares), len(bShares))
 	}
@@ -69,25 +70,34 @@ func mulShares(p *mpc.Party, aShares, bShares []uint64, evalRole mpc.Role) ([]ui
 	circ := buildMulCircuit(n, ell)
 	if p.Role == evalRole {
 		evalBits := make([]bool, 0, 2*n*ell)
-		for i := 0; i < n; i++ {
-			evalBits = gc.AppendBits(evalBits, aShares[i], ell)
-			evalBits = gc.AppendBits(evalBits, bShares[i], ell)
-		}
+		relation.Range(n, chunk, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				evalBits = gc.AppendBits(evalBits, aShares[i], ell)
+				evalBits = gc.AppendBits(evalBits, bShares[i], ell)
+			}
+			return nil
+		})
 		out, err := p.RunCircuit(circ, evalBits, nil, evalRole.Other())
 		if err != nil {
 			return nil, err
 		}
 		res := make([]uint64, n)
-		for i := 0; i < n; i++ {
-			res[i] = p.Ring.Mask(gc.UintOfBits(out[i*ell : (i+1)*ell]))
-		}
+		relation.Range(n, chunk, func(lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				res[i] = p.Ring.Mask(gc.UintOfBits(out[i*ell : (i+1)*ell]))
+			}
+			return nil
+		})
 		return res, nil
 	}
 	priv := make([]bool, 0, 3*n*ell)
-	for i := 0; i < n; i++ {
-		priv = gc.AppendBits(priv, aShares[i], ell)
-		priv = gc.AppendBits(priv, bShares[i], ell)
-	}
+	relation.Range(n, chunk, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			priv = gc.AppendBits(priv, aShares[i], ell)
+			priv = gc.AppendBits(priv, bShares[i], ell)
+		}
+		return nil
+	})
 	res := make([]uint64, n)
 	for i := 0; i < n; i++ {
 		r := p.Ring.Random(p.PRG)
@@ -103,20 +113,25 @@ func mulShares(p *mpc.Party, aShares, bShares []uint64, evalRole mpc.Role) ([]ui
 // childKeys extracts the child relation's single-uint64 keys over all its
 // attributes and verifies they are distinct (guaranteed when the child
 // went through an oblivious aggregation, which the reduce phase ensures).
-func childKeys(rel *relation.Relation) ([]uint64, error) {
+func childKeys(rel *relation.Relation, chunk int) ([]uint64, error) {
 	cols := make([]int, len(rel.Schema.Attrs))
 	for i := range cols {
 		cols[i] = i
 	}
 	keys := make([]uint64, rel.Len())
 	seen := make(map[uint64]bool, rel.Len())
-	for i := range keys {
-		k := rel.Key(i, cols)
-		if seen[k] {
-			return nil, fmt.Errorf("core: child relation has duplicate join key %d; aggregate it first", k)
+	if err := relation.Range(rel.Len(), chunk, func(lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			k := rel.Key(i, cols)
+			if seen[k] {
+				return fmt.Errorf("core: child relation has duplicate join key %d; aggregate it first", k)
+			}
+			seen[k] = true
+			keys[i] = k
 		}
-		seen[k] = true
-		keys[i] = k
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return keys, nil
 }
@@ -125,6 +140,12 @@ func childKeys(rel *relation.Relation) ([]uint64, error) {
 // parent.Schema (paper §6.2). The result keeps the parent's tuples and
 // holder; only the annotation shares change.
 func SemijoinInto(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedRelation) (*SharedRelation, error) {
+	return semijoinIntoChunked(p, dg, parent, child, 0)
+}
+
+// semijoinIntoChunked is SemijoinInto with an explicit tuple-plane chunk
+// size (0 = process default, negative = unbounded).
+func semijoinIntoChunked(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedRelation, chunk int) (*SharedRelation, error) {
 	for _, a := range child.Schema.Attrs {
 		if !parent.Schema.Has(a) {
 			return nil, fmt.Errorf("core: SemijoinInto requires child attrs ⊆ parent attrs (missing %q)", a)
@@ -143,18 +164,18 @@ func SemijoinInto(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedRela
 		// public knowledge — so a constant-programmed OEP aligns it.
 		zShares, err = alignScalar(p, parent, child)
 	case parent.Holder == child.Holder:
-		zShares, err = alignSameParty(p, dg, parent, child)
+		zShares, err = alignSameParty(p, dg, parent, child, chunk)
 	case child.Plain:
 		// §6.5: the child holder knows its annotations, so the cheaper
 		// plain-payload PSI replaces the secret-shared-payload protocol.
-		zShares, err = alignCrossPartyPlain(p, dg, parent, child)
+		zShares, err = alignCrossPartyPlain(p, dg, parent, child, chunk)
 	default:
-		zShares, err = alignCrossParty(p, dg, parent, child)
+		zShares, err = alignCrossParty(p, dg, parent, child, chunk)
 	}
 	if err != nil {
 		return nil, err
 	}
-	newAnnot, err := mulShares(p, parent.Annot, zShares, parent.Holder)
+	newAnnot, err := mulShares(p, parent.Annot, zShares, parent.Holder, chunk)
 	if err != nil {
 		return nil, err
 	}
@@ -179,14 +200,14 @@ func alignScalar(p *mpc.Party, parent, child *SharedRelation) ([]uint64, error) 
 // party holds both relations: the holder pairs each parent tuple with its
 // unique matching child tuple (or a virtual dummy at index N_child) and a
 // single extended OEP re-shares the child annotations in parent order.
-func alignSameParty(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedRelation) ([]uint64, error) {
+func alignSameParty(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedRelation, chunk int) ([]uint64, error) {
 	m := parent.N
 	ext := make([]uint64, child.N+1)
 	copy(ext, child.Annot) // the extra slot is a shared zero (0,0)
 	if p.Role != parent.Holder {
 		return oep.RunHelper(p, child.N+1, m, ext)
 	}
-	keys, err := childKeys(child.Rel)
+	keys, err := childKeys(child.Rel, chunk)
 	if err != nil {
 		return nil, err
 	}
@@ -199,20 +220,23 @@ func alignSameParty(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedRe
 		return nil, err
 	}
 	xi := make([]int, m)
-	for j := 0; j < m; j++ {
-		if i, ok := idx[parent.Rel.Key(j, cols)]; ok {
-			xi[j] = i
-		} else {
-			xi[j] = child.N // dummy slot
+	relation.Range(m, chunk, func(lo, hi int) error {
+		for j := lo; j < hi; j++ {
+			if i, ok := idx[parent.Rel.Key(j, cols)]; ok {
+				xi[j] = i
+			} else {
+				xi[j] = child.N // dummy slot
+			}
 		}
-	}
+		return nil
+	})
 	return oep.RunProgrammer(p, xi, child.N+1, ext)
 }
 
 // parentKeysForPSI builds the receiver-side PSI input: the distinct
 // child-attribute keys of the parent, padded with dummies to the public
 // size, plus the per-tuple key lookup.
-func parentKeysForPSI(parent, child *SharedRelation, dg *relation.DummyGen) (xs, keyOf []uint64, err error) {
+func parentKeysForPSI(parent, child *SharedRelation, dg *relation.DummyGen, chunk int) (xs, keyOf []uint64, err error) {
 	cols, err := parent.Schema.Positions(child.Schema.Attrs)
 	if err != nil {
 		return nil, nil, err
@@ -221,14 +245,17 @@ func parentKeysForPSI(parent, child *SharedRelation, dg *relation.DummyGen) (xs,
 	xs = make([]uint64, 0, m)
 	seen := make(map[uint64]bool, m)
 	keyOf = make([]uint64, m)
-	for j := 0; j < m; j++ {
-		k := parent.Rel.Key(j, cols)
-		keyOf[j] = k
-		if !seen[k] {
-			seen[k] = true
-			xs = append(xs, k)
+	relation.Range(m, chunk, func(lo, hi int) error {
+		for j := lo; j < hi; j++ {
+			k := parent.Rel.Key(j, cols)
+			keyOf[j] = k
+			if !seen[k] {
+				seen[k] = true
+				xs = append(xs, k)
+			}
 		}
-	}
+		return nil
+	})
 	for len(xs) < m {
 		xs = append(xs, dg.Next())
 	}
@@ -260,11 +287,11 @@ func binAlignment(p *mpc.Party, res *psi.Result, keyOf []uint64) ([]uint64, erro
 // (wins when ℓ is below the index width), or the indexed construction of
 // §5.5 with the first OEP replaced by the sender's free local shuffle
 // (wins for typical ℓ=32 annotations).
-func alignCrossPartyPlain(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedRelation) ([]uint64, error) {
+func alignCrossPartyPlain(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedRelation, chunk int) ([]uint64, error) {
 	m := parent.N
 	direct := p.Ring.Bits <= psi.IndexWidth(m, child.N)
 	if p.Role != parent.Holder {
-		keys, err := childKeys(child.Rel)
+		keys, err := childKeys(child.Rel, chunk)
 		if err != nil {
 			return nil, err
 		}
@@ -279,7 +306,7 @@ func alignCrossPartyPlain(p *mpc.Party, dg *relation.DummyGen, parent, child *Sh
 		}
 		return oep.RunHelper(p, res.Params.B, m, res.PayShares)
 	}
-	xs, keyOf, err := parentKeysForPSI(parent, child, dg)
+	xs, keyOf, err := parentKeysForPSI(parent, child, dg, chunk)
 	if err != nil {
 		return nil, err
 	}
@@ -299,11 +326,11 @@ func alignCrossPartyPlain(p *mpc.Party, dg *relation.DummyGen, parent, child *Sh
 // parties: PSI with secret-shared payloads (paper §5.5) delivers per-bin
 // shares of the matching child annotation, and an extended OEP programmed
 // by the parent holder maps bins to parent tuple positions.
-func alignCrossParty(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedRelation) ([]uint64, error) {
+func alignCrossParty(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedRelation, chunk int) ([]uint64, error) {
 	m := parent.N
 	if p.Role != parent.Holder {
 		// Child holder: PSI sender, then OEP helper.
-		keys, err := childKeys(child.Rel)
+		keys, err := childKeys(child.Rel, chunk)
 		if err != nil {
 			return nil, err
 		}
@@ -315,7 +342,7 @@ func alignCrossParty(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedR
 	}
 	// Parent holder: build X = the distinct child-attribute keys of the
 	// parent, padded with dummies to the public size m.
-	xs, keyOf, err := parentKeysForPSI(parent, child, dg)
+	xs, keyOf, err := parentKeysForPSI(parent, child, dg, chunk)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,82 @@
+package relation
+
+import "testing"
+
+// The hashRow64 grouping replaced per-row string keys on the
+// Project/Join/Semijoin paths. These guards pin the allocation profile:
+// probing must not allocate at all, and the whole grouping pass must
+// stay at O(groups) allocations (map growth + retained group rows),
+// never O(rows) key materializations.
+
+func benchRelation(n int) *Relation {
+	r := New(MustSchema("a", "b"))
+	for i := 0; i < n; i++ {
+		r.Append([]uint64{uint64(i % 50), uint64(i % 7)}, 1)
+	}
+	return r
+}
+
+// TestGroupProbeAllocs asserts the probe path of the uint64 grouping is
+// allocation free — the property the string keys could not provide.
+func TestGroupProbeAllocs(t *testing.T) {
+	r := benchRelation(1000)
+	cols := []int{0, 1}
+	g := newGroupIndex(cols, r.Len())
+	for i := range r.Tuples {
+		if g.lookup(r.Tuples[i], cols) < 0 {
+			g.insert(r.Tuples[i], i)
+		}
+	}
+	row := []uint64{25, 3}
+	allocs := testing.AllocsPerRun(100, func() {
+		if g.lookup(row, cols) < 0 {
+			t.Fatal("probe missed an inserted group")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("group probe allocates %.1f objects per lookup, want 0", allocs)
+	}
+}
+
+// TestProjectAllocBound asserts Project's total allocations are bounded
+// by the group count, not the row count: with 350 groups over 7000 rows,
+// a per-row key would cost ≥ 7000 allocations alone.
+func TestProjectAllocBound(t *testing.T) {
+	r := benchRelation(7000) // 350 distinct (a,b) groups
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := r.Project([]Attr{"a", "b"}, RingSemiring{Bits: 32}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2000 {
+		t.Fatalf("Project allocates %.0f objects for 7000 rows / 350 groups; want O(groups), got O(rows)", allocs)
+	}
+}
+
+func BenchmarkProjectKeying(b *testing.B) {
+	r := benchRelation(10000)
+	sr := RingSemiring{Bits: 32}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Project([]Attr{"a", "b"}, sr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinKeying(b *testing.B) {
+	r := benchRelation(5000)
+	s := New(MustSchema("a", "c"))
+	for i := 0; i < 50; i++ {
+		s.Append([]uint64{uint64(i), uint64(i * 3)}, 1)
+	}
+	sr := RingSemiring{Bits: 32}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Join(s, sr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -220,15 +220,7 @@ func (r *Relation) SortByColumns(cols []int) []int {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ta, tb := r.Tuples[idx[a]], r.Tuples[idx[b]]
-		for _, c := range cols {
-			if ta[c] != tb[c] {
-				return ta[c] < tb[c]
-			}
-		}
-		return false
-	})
+	stableSortBy(idx, r, cols)
 	newTuples := make([][]uint64, r.Len())
 	newAnnot := make([]uint64, r.Len())
 	for newPos, oldPos := range idx {
@@ -240,14 +232,100 @@ func (r *Relation) SortByColumns(cols []int) []int {
 	return idx
 }
 
-// rowKey serializes selected columns for exact map-based grouping (no
-// collisions, unlike Key, which compresses to 62 bits for the circuits).
-func rowKey(row []uint64, cols []int) string {
-	buf := make([]byte, 8*len(cols))
-	for i, c := range cols {
-		binary.LittleEndian.PutUint64(buf[8*i:], row[c])
+// stableSortBy stably sorts the index slice by the rows it references,
+// lexicographically on cols — the single comparator shared by
+// SortByColumns and SortPermByColumns, so both produce the identical
+// permutation.
+func stableSortBy(idx []int, r *Relation, cols []int) {
+	sort.SliceStable(idx, func(a, b int) bool {
+		ta, tb := r.Tuples[idx[a]], r.Tuples[idx[b]]
+		for _, c := range cols {
+			if ta[c] != tb[c] {
+				return ta[c] < tb[c]
+			}
+		}
+		return false
+	})
+}
+
+// hashRow64 hashes the selected columns of a row to a uint64 for
+// map-based grouping: an FNV-1a over the raw column values, allocation
+// free (unlike the string keys it replaced). Callers must treat equal
+// hashes as candidates and confirm with rowsMatchOn — unlike Key's
+// 62-bit compression, grouping demands exactness.
+func hashRow64(row []uint64, cols []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range cols {
+		v := row[c]
+		for b := 0; b < 8; b++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
 	}
-	return string(buf)
+	return h
+}
+
+// rowsMatchOn reports whether row a on aCols equals row b on bCols
+// (column lists of equal length) — the collision check behind hashRow64
+// grouping.
+func rowsMatchOn(a []uint64, aCols []int, b []uint64, bCols []int) bool {
+	for i := range aCols {
+		if a[aCols[i]] != b[bCols[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// groupIndex is a hash-keyed multimap from rows (projected to cols) to
+// payload ints, with exact collision resolution: hashRow64 buckets the
+// candidates and rowsMatchOn confirms them against the owning rows.
+type groupIndex struct {
+	rows    [][]uint64
+	cols    []int
+	buckets map[uint64][]int32 // hash → indices into rows/vals
+	vals    []int
+}
+
+func newGroupIndex(cols []int, sizeHint int) *groupIndex {
+	return &groupIndex{cols: cols, buckets: make(map[uint64][]int32, sizeHint)}
+}
+
+// lookup returns the payload stored for a row equal to row on rCols, or
+// -1. rCols may differ from the index's own column list (probe side of
+// a join).
+func (g *groupIndex) lookup(row []uint64, rCols []int) int {
+	for _, i := range g.buckets[hashRow64(row, rCols)] {
+		if rowsMatchOn(g.rows[i], g.cols, row, rCols) {
+			return g.vals[i]
+		}
+	}
+	return -1
+}
+
+// lookupAll appends to dst every payload stored for rows equal to row
+// on rCols.
+func (g *groupIndex) lookupAll(dst []int, row []uint64, rCols []int) []int {
+	for _, i := range g.buckets[hashRow64(row, rCols)] {
+		if rowsMatchOn(g.rows[i], g.cols, row, rCols) {
+			dst = append(dst, g.vals[i])
+		}
+	}
+	return dst
+}
+
+// insert stores val under row (projected to the index's columns). The
+// row is retained for collision checks.
+func (g *groupIndex) insert(row []uint64, val int) {
+	h := hashRow64(row, g.cols)
+	g.buckets[h] = append(g.buckets[h], int32(len(g.rows)))
+	g.rows = append(g.rows, row)
+	g.vals = append(g.vals, val)
 }
 
 // Semiring abstracts the annotation algebra for the plaintext engine. The
@@ -326,10 +404,9 @@ func (r *Relation) Project(attrs []Attr, sr Semiring) (*Relation, error) {
 		return nil, err
 	}
 	out := New(MustSchema(attrs...))
-	pos := map[string]int{}
+	pos := newGroupIndex(cols, r.Len())
 	for i := range r.Tuples {
-		k := rowKey(r.Tuples[i], cols)
-		if j, ok := pos[k]; ok {
+		if j := pos.lookup(r.Tuples[i], cols); j >= 0 {
 			out.Annot[j] = sr.Add(out.Annot[j], r.Annot[i])
 			continue
 		}
@@ -337,7 +414,7 @@ func (r *Relation) Project(attrs []Attr, sr Semiring) (*Relation, error) {
 		for c, cc := range cols {
 			row[c] = r.Tuples[i][cc]
 		}
-		pos[k] = out.Len()
+		pos.insert(r.Tuples[i], out.Len())
 		out.Append(row, r.Annot[i])
 	}
 	return out, nil
@@ -351,16 +428,15 @@ func (r *Relation) ProjectOne(attrs []Attr, sr Semiring) (*Relation, error) {
 		return nil, err
 	}
 	out := New(MustSchema(attrs...))
-	seen := map[string]bool{}
+	seen := newGroupIndex(cols, r.Len())
 	for i := range r.Tuples {
 		if r.Annot[i] == sr.Zero() {
 			continue
 		}
-		k := rowKey(r.Tuples[i], cols)
-		if seen[k] {
+		if seen.lookup(r.Tuples[i], cols) >= 0 {
 			continue
 		}
-		seen[k] = true
+		seen.insert(r.Tuples[i], i)
 		row := make([]uint64, len(cols))
 		for c, cc := range cols {
 			row[c] = r.Tuples[i][cc]
@@ -396,13 +472,15 @@ func (r *Relation) Join(s *Relation, sr Semiring) (*Relation, error) {
 		return nil, err
 	}
 	// Hash join: index the smaller side conceptually; here we index s.
-	idx := map[string][]int{}
+	idx := newGroupIndex(sCols, s.Len())
 	for j := range s.Tuples {
-		idx[rowKey(s.Tuples[j], sCols)] = append(idx[rowKey(s.Tuples[j], sCols)], j)
+		idx.insert(s.Tuples[j], j)
 	}
 	out := New(outSchema)
+	var matches []int
 	for i := range r.Tuples {
-		for _, j := range idx[rowKey(r.Tuples[i], rCols)] {
+		matches = idx.lookupAll(matches[:0], r.Tuples[i], rCols)
+		for _, j := range matches {
 			row := make([]uint64, 0, len(outSchema.Attrs))
 			row = append(row, r.Tuples[i]...)
 			for _, c := range extraCols {
@@ -423,10 +501,10 @@ func (r *Relation) Semijoin(s *Relation, sr Semiring) (*Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	keep := map[string]bool{}
 	cols, _ := proj.Schema.Positions(shared)
+	keep := newGroupIndex(cols, proj.Len())
 	for j := range proj.Tuples {
-		keep[rowKey(proj.Tuples[j], cols)] = true
+		keep.insert(proj.Tuples[j], j)
 	}
 	rCols, err := r.Schema.Positions(shared)
 	if err != nil {
@@ -434,7 +512,7 @@ func (r *Relation) Semijoin(s *Relation, sr Semiring) (*Relation, error) {
 	}
 	out := New(r.Schema)
 	for i := range r.Tuples {
-		if keep[rowKey(r.Tuples[i], rCols)] {
+		if keep.lookup(r.Tuples[i], rCols) >= 0 {
 			out.Append(r.Tuples[i], r.Annot[i])
 		}
 	}

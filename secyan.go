@@ -244,9 +244,10 @@ type Plan = core.Plan
 // Explain derives the execution plan and a communication estimate for a
 // query from public parameters only (both parties compute identical
 // plans — a restatement of obliviousness). Options: WithRing selects
-// the annotation ring (default DefaultRing) and WithEstOut the assumed
-// output size for the join-phase steps of multi-survivor queries.
+// the annotation ring (default DefaultRing), WithEstOut the assumed
+// output size for the join-phase steps of multi-survivor queries, and
+// WithChunkSize the streaming chunk size recorded in the plan.
 func Explain(q *Query, opts ...Option) (*Plan, error) {
 	cfg := buildConfig(opts)
-	return core.Explain(q, cfg.ring.Bits, cfg.estOut)
+	return core.ExplainChunked(q, cfg.ring.Bits, cfg.estOut, cfg.chunk)
 }

@@ -56,6 +56,7 @@ type config struct {
 	peerTimeout    time.Duration
 	queueCap       int
 	estOut         int
+	chunk          int
 	wrapStream     func(id uint32, c Conn) Conn
 }
 
@@ -99,6 +100,15 @@ func WithQueueCap(n int) Option { return func(c *config) { c.queueCap = n } }
 // WithEstOut sets the assumed output size Explain uses for the
 // join-phase steps of multi-survivor queries. Ignored by Open.
 func WithEstOut(n int) Option { return func(c *config) { c.estOut = n } }
+
+// WithChunkSize bounds the executor's tuple-plane working set: each
+// operator streams its relations in windows of at most n tuples, so
+// per-step memory is O(n) instead of O(relation). n == 0 keeps the
+// process default (see relation.DefaultChunkSize, 4096); n < 0 disables
+// chunking and materializes fully. Chunking is transcript-invariant:
+// for every n, results and per-stream traffic are byte-identical (see
+// DESIGN.md §12).
+func WithChunkSize(n int) Option { return func(c *config) { c.chunk = n } }
 
 // WithStreamWrapper interposes f on every logical stream the session
 // opens — the hook behind fault injection (see transport.InjectFaults)
@@ -232,7 +242,7 @@ func (s *Session) RunTrace(ctx context.Context, q *Query) (*Relation, *Trace, er
 		return nil, nil, err
 	}
 	defer p.Conn.Close()
-	rel, tr, err := core.RunContext(ctx, p, q)
+	rel, tr, err := core.RunContextOpts(ctx, p, q, core.ExecOptions{ChunkSize: s.cfg.chunk})
 	if err != nil {
 		return nil, tr, s.labeled(id, err)
 	}
@@ -249,7 +259,7 @@ func (s *Session) RunShared(ctx context.Context, q *Query) (*SharedResult, error
 		return nil, err
 	}
 	defer p.Conn.Close()
-	res, _, err := core.RunSharedContext(ctx, p, q)
+	res, _, err := core.RunSharedContextOpts(ctx, p, q, core.ExecOptions{ChunkSize: s.cfg.chunk})
 	if err != nil {
 		return nil, s.labeled(id, err)
 	}
@@ -299,13 +309,13 @@ func (s *Session) RevealRatio(ctx context.Context, num, den *SharedResult, scale
 }
 
 // Explain derives the execution plan and communication estimate for q
-// under this session's ring. Options: WithEstOut.
+// under this session's ring. Options: WithEstOut, WithChunkSize.
 func (s *Session) Explain(q *Query, opts ...Option) (*Plan, error) {
 	cfg := s.cfg
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return core.Explain(q, cfg.ring.OrDefault().Bits, cfg.estOut)
+	return core.ExplainChunked(q, cfg.ring.OrDefault().Bits, cfg.estOut, cfg.chunk)
 }
 
 // Stats snapshots the session's rolled-up traffic.
