@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all test short race race-sessions race-chunks bench bench-json vet fuzz
+.PHONY: all test short race race-sessions race-chunks race-backends bench bench-json vet fuzz
 
 all: vet test
 
@@ -37,6 +37,14 @@ race-sessions:
 race-chunks:
 	$(GO) test -race -count=3 -timeout 30m -run 'Chunk' ./internal/relation ./internal/core ./internal/benchmark .
 
+# The backend-equivalence suites under the race detector, repeated:
+# every secure-join backend (psi-oep, bifrost, gc) must produce the
+# results of the cost-based default, win its auctions when forced, and
+# keep transcripts deterministic and oblivious (see DESIGN.md Â§13).
+race-backends:
+	$(GO) test -race -count=3 -timeout 30m -run 'Backend|PlanCosted' ./internal/core ./internal/jointree
+	$(GO) test -race -count=3 -timeout 30m ./internal/bifrost ./internal/gcbaseline
+
 # Worker-count scaling benchmarks for the parallel kernels (IKNP
 # extension, garbling/evaluation, bit-matrix transpose) plus the
 # remaining micro-benchmarks. Paper-figure benchmarks live behind
@@ -47,9 +55,13 @@ bench:
 # Regenerate the committed figure points (BENCH_pr4.json) with the
 # plan-driven offline phase enabled, at laptop-friendly scales. The
 # offline/online split per measured secure point lands in the JSON as
-# offline_seconds/online_seconds/offline_bytes.
+# offline_seconds/online_seconds/offline_bytes. BENCH_pr7.json adds the
+# chosen-vs-forced backend deltas on Q3/Q10/Q18 (-backends): one
+# measured secure point per backend, the "backend" field naming the
+# forced variant (absent = cost-based selection).
 bench-json:
 	$(GO) run ./cmd/secyan-bench -precompute -scales 0.02,0.06,0.12 -securecap 0.12 -json BENCH_pr4.json
+	$(GO) run ./cmd/secyan-bench -fig 0 -backends -scales 0.02,0.06 -securecap 0.06 -json BENCH_pr7.json
 
 vet:
 	$(GO) vet ./...

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"secyan/internal/benchmark"
+	"secyan/internal/core"
 	"secyan/internal/obs"
 	"secyan/internal/parallel"
 	"secyan/internal/queries"
@@ -42,6 +43,8 @@ func main() {
 	chunk := flag.Int("chunk", 0, "executor chunk size in tuples for measured secure runs: bounds the tuple-plane working set without changing a byte on the wire (0 = default 4096, negative = fully materialized)")
 	mem := flag.Bool("mem", false, "after each figure, print the memory profile of the measured secure runs (sampled peak heap, live-heap delta, bytes allocated)")
 	jsonOut := flag.String("json", "", "write all figure points as JSON to this file (\"-\" for stdout)")
+	backendName := flag.String("backend", "auto", "secure-join backend for the measured secure runs: auto (cost-based per step), psi-oep, bifrost or gc")
+	backends := flag.Bool("backends", false, "after each of the Q3/Q10/Q18 figures, measure the chosen-vs-forced backend deltas (one secure run per backend at the largest real scale) and include them in the JSON output")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/step on this address while benchmarking (enables metrics collection)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the measured secure runs to this file")
 	sessions := flag.Int("sessions", 0, "instead of the figures, measure session-layer throughput: run this many copies of the query serially vs concurrently multiplexed over one TCP connection (uses the first -scales entry; -fig selects the query, default Q3)")
@@ -68,6 +71,11 @@ func main() {
 		}
 		scales = append(scales, v)
 	}
+	backend, err := core.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secyan-bench: %v\n", err)
+		os.Exit(2)
+	}
 	opt := benchmark.Options{
 		ScalesMB:    scales,
 		SecureCapMB: *secureCap,
@@ -75,6 +83,7 @@ func main() {
 		Seed:        *seed,
 		Precompute:  *precompute,
 		ChunkSize:   *chunk,
+		Backend:     backend,
 	}
 	if *traceOut != "" {
 		opt.Tracer = obs.NewTracer()
@@ -120,6 +129,17 @@ func main() {
 			os.Exit(1)
 		}
 		allPoints = append(allPoints, points...)
+		if *backends {
+			switch spec.Name {
+			case "Q3", "Q10", "Q18":
+				bpts, err := benchmark.RunBackendComparison(spec, opt, os.Stdout)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "secyan-bench: %s: %v\n", spec.Name, err)
+					os.Exit(1)
+				}
+				allPoints = append(allPoints, bpts...)
+			}
+		}
 		if *phases {
 			fmt.Println()
 			benchmark.PrintPhases(os.Stdout, points)

@@ -50,7 +50,14 @@ func main() {
 	debugLinger := flag.Duration("debug-linger", 0, "keep the debug server (and process) alive this long after the run finishes, so the final metrics can still be scraped")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
 	chunk := flag.Int("chunk", 0, "executor chunk size in tuples: bounds per-operator memory without changing a byte on the wire (0 = default 4096, negative = fully materialized); parties may even choose different sizes, transcripts are identical")
+	backendName := flag.String("backend", "auto", "secure-join backend for every applicable semijoin/aggregate step: auto (cost-based per step), psi-oep, bifrost or gc; unlike -chunk this changes the transcript, so both parties must agree")
 	flag.Parse()
+
+	backend, err := core.ParseBackend(*backendName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secyan: %v\n", err)
+		os.Exit(2)
+	}
 
 	var spec queries.Spec
 	switch *queryName {
@@ -77,7 +84,7 @@ func main() {
 	ring := share.Ring{Bits: 32}
 
 	if *explain {
-		if err := printExplain(spec, db, ring); err != nil {
+		if err := printExplain(spec, db, ring, backend); err != nil {
 			fmt.Fprintf(os.Stderr, "secyan: explain: %v\n", err)
 			os.Exit(1)
 		}
@@ -99,9 +106,9 @@ func main() {
 	}
 
 	if *role == "" {
-		runInProcess(spec, db, ring, *maxRows, *analyze, *precompute, tracer)
+		runInProcess(spec, db, ring, backend, *maxRows, *analyze, *precompute, tracer)
 	} else {
-		runDistributed(spec, db, ring, *role, *listen, *connect, *maxRows, *analyze, *precompute, *heartbeat, *deadline, tracer)
+		runDistributed(spec, db, ring, backend, *role, *listen, *connect, *maxRows, *analyze, *precompute, *heartbeat, *deadline, tracer)
 	}
 
 	if tracer != nil {
@@ -134,12 +141,12 @@ func writeTrace(tracer *obs.Tracer, path string) error {
 // Query specs prepare their own core.Query values internally, so we
 // re-derive a representative one from the database shape: the masked
 // relations have the same public sizes as the originals.
-func printExplain(spec queries.Spec, db *tpch.DB, ring share.Ring) error {
+func printExplain(spec queries.Spec, db *tpch.DB, ring share.Ring, backend core.BackendID) error {
 	q, err := queries.PlanFor(spec, db)
 	if err != nil {
 		return err
 	}
-	plan, err := core.Explain(q, ring.Bits, 0)
+	plan, err := core.ExplainOpts(q, ring.Bits, core.PlanOptions{Backend: backend})
 	if err != nil {
 		return err
 	}
@@ -147,7 +154,7 @@ func printExplain(spec queries.Spec, db *tpch.DB, ring share.Ring) error {
 	return nil
 }
 
-func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int, analyze, precompute bool, tracer *obs.Tracer) {
+func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, backend core.BackendID, maxRows int, analyze, precompute bool, tracer *obs.Tracer) {
 	alice, bob := mpc.Pair(ring)
 	defer alice.Conn.Close()
 	defer bob.Conn.Close()
@@ -168,10 +175,10 @@ func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int, 
 			fmt.Fprintf(os.Stderr, "secyan: precompute: %v\n", err)
 			os.Exit(1)
 		}
-		_, _, err = mpc.Run2PC(alice, bob,
-			func(p *mpc.Party) (*core.Trace, error) { return core.Precompute(context.Background(), p, planQ) },
-			func(p *mpc.Party) (*core.Trace, error) { return core.Precompute(context.Background(), p, planQ) },
-		)
+		pre := func(p *mpc.Party) (*core.Trace, error) {
+			return core.PrecomputeOpts(context.Background(), p, planQ, core.PlanOptions{Backend: backend})
+		}
+		_, _, err = mpc.Run2PC(alice, bob, pre, pre)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "secyan: precompute: %v\n", err)
 			os.Exit(1)
@@ -179,10 +186,10 @@ func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int, 
 		offElapsed = time.Since(start)
 		offBytes = alice.Conn.Stats().TotalBytes()
 	}
-	res, _, err := mpc.Run2PC(alice, bob,
-		func(p *mpc.Party) (*relation.Relation, error) { return spec.Secure(p, db) },
-		func(p *mpc.Party) (*relation.Relation, error) { return spec.Secure(p, db) },
-	)
+	run := func(p *mpc.Party) (*relation.Relation, error) {
+		return spec.SecureOpts(p, db, core.ExecOptions{Backend: backend})
+	}
+	res, _, err := mpc.Run2PC(alice, bob, run, run)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "secyan: %v\n", err)
 		os.Exit(1)
@@ -208,7 +215,7 @@ func runInProcess(spec queries.Spec, db *tpch.DB, ring share.Ring, maxRows int, 
 	}
 }
 
-func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, listen, connect string, maxRows int, analyze, precompute bool, heartbeat, deadline time.Duration, tracer *obs.Tracer) {
+func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, backend core.BackendID, role, listen, connect string, maxRows int, analyze, precompute bool, heartbeat, deadline time.Duration, tracer *obs.Tracer) {
 	var conn transport.Conn
 	var err error
 	var r mpc.Role
@@ -265,14 +272,14 @@ func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, role, liste
 			fmt.Fprintf(os.Stderr, "secyan: precompute: %v\n", perr)
 			os.Exit(1)
 		}
-		if _, perr = core.Precompute(context.Background(), p, planQ); perr != nil {
+		if _, perr = core.PrecomputeOpts(context.Background(), p, planQ, core.PlanOptions{Backend: backend}); perr != nil {
 			fmt.Fprintf(os.Stderr, "secyan: precompute: %v\n", perr)
 			os.Exit(1)
 		}
 		offElapsed = time.Since(start)
 		offBytes = p.Conn.Stats().TotalBytes()
 	}
-	res, err := spec.Secure(p, db)
+	res, err := spec.SecureOpts(p, db, core.ExecOptions{Backend: backend})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "secyan: %v\n", err)
 		os.Exit(1)

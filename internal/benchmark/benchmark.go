@@ -76,6 +76,10 @@ type Point struct {
 	// Phases breaks the measured secure run down by protocol phase, in
 	// execution order; nil for extrapolated points and other methods.
 	Phases []PhaseCost `json:"phases,omitempty"`
+	// Backend names the secure-join backend of a measured secure run:
+	// empty for cost-based per-step selection (the default), else the
+	// forced core.BackendID. RunBackendComparison fills it.
+	Backend string `json:"backend,omitempty"`
 }
 
 // PhaseCost aggregates the per-step trace of a secure run over one
@@ -131,6 +135,11 @@ type Options struct {
 	// many tuples, 0 keeps the process default, < 0 materializes fully.
 	// Transcript-invariant — Bytes is identical for every setting.
 	ChunkSize int
+	// Backend forces every applicable semijoin/aggregate step of the
+	// measured secure runs onto one secure-join backend; the zero value
+	// keeps cost-based per-step selection. Unlike ChunkSize this changes
+	// the transcript (and so Bytes).
+	Backend core.BackendID
 }
 
 // DefaultOptions mirror the paper's setup at laptop-friendly scales.
@@ -312,10 +321,10 @@ func runSecure(spec queries.Spec, db *tpch.DB, scale float64, opt Options) (Poin
 			return Point{}, fmt.Errorf("precompute plan shape: %w", err)
 		}
 		ctx := context.Background()
-		_, _, err = mpc.Run2PC(alice, bob,
-			func(p *mpc.Party) (*core.Trace, error) { return core.Precompute(ctx, p, planQ) },
-			func(p *mpc.Party) (*core.Trace, error) { return core.Precompute(ctx, p, planQ) },
-		)
+		pre := func(p *mpc.Party) (*core.Trace, error) {
+			return core.PrecomputeOpts(ctx, p, planQ, core.PlanOptions{Backend: opt.Backend})
+		}
+		_, _, err = mpc.Run2PC(alice, bob, pre, pre)
 		if err != nil {
 			return Point{}, fmt.Errorf("precompute: %w", err)
 		}
@@ -325,10 +334,10 @@ func runSecure(spec queries.Spec, db *tpch.DB, scale float64, opt Options) (Poin
 		offSeconds = time.Since(start).Seconds()
 		offBytes = alice.Conn.Stats().TotalBytes()
 	}
-	res, _, err := mpc.Run2PC(alice, bob,
-		func(p *mpc.Party) (*relation.Relation, error) { return spec.Secure(p, db) },
-		func(p *mpc.Party) (*relation.Relation, error) { return spec.Secure(p, db) },
-	)
+	run := func(p *mpc.Party) (*relation.Relation, error) {
+		return spec.SecureOpts(p, db, core.ExecOptions{Backend: opt.Backend})
+	}
+	res, _, err := mpc.Run2PC(alice, bob, run, run)
 	if err != nil {
 		return Point{}, err
 	}
@@ -339,6 +348,7 @@ func runSecure(spec queries.Spec, db *tpch.DB, scale float64, opt Options) (Poin
 		Bytes:      float64(st.TotalBytes()),
 		OutputRows: res.Len(),
 		Phases:     phases,
+		Backend:    string(opt.Backend),
 	}
 	if opt.Precompute {
 		pt.OfflineSeconds = offSeconds

@@ -1,0 +1,32 @@
+package bifrost
+
+import (
+	"secyan/internal/gc"
+	"secyan/internal/prf"
+)
+
+// Wire-cost predictor for the bifrost join, used by the plan compiler in
+// internal/core. It composes the hash-seed message with the comparison
+// circuit, whose dimensions are interpolated over the bin count — the
+// per-bin gadget is fixed by R and L, so Dims is affine in B, exactly as
+// in psi's cost model. cost_test.go pins it to measured traffic.
+
+// circuitDims interpolates the comparison-circuit dimensions in the bin
+// count with the per-bin loads R, L (and every other parameter) fixed.
+func circuitDims(pr Params, ell int) gc.Dims {
+	return gc.InterpolateDims(func(b int) *gc.Circuit {
+		probe := pr
+		probe.B = b
+		return buildCircuit(probe, ell)
+	}, pr.B)
+}
+
+// AlignCost returns the total bytes (both directions) of one
+// RunReceiver/RunSender execution for public set sizes m (receiver) and
+// n (sender) with ell-bit payloads, excluding one-time base-OT setup.
+// The OEP the caller runs to scatter slots onto its tuples is priced
+// separately (oep.Cost(Slots, m, false)).
+func AlignCost(m, n, ell int) int64 {
+	pr := NewParams(m, n)
+	return int64(prf.SeedSize) + circuitDims(pr, ell).MessageCost()
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"secyan/internal/gc"
+	"secyan/internal/gcbaseline"
 	"secyan/internal/mpc"
 	"secyan/internal/oep"
 	"secyan/internal/relation"
@@ -135,11 +136,6 @@ func runMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []
 		if err != nil {
 			return nil, err
 		}
-		// Build the output relation in a second streamed pass: the last
-		// row of each group keeps its group values; every other row
-		// becomes a fresh dummy. "Last" looks one row ahead, so each row
-		// is emitted when its successor arrives (held across chunks).
-		res := relation.New(outSchema)
 		newAnnot := make([]uint64, n)
 		relation.Range(n, chunk, func(lo, hi int) error {
 			for j := lo; j < hi; j++ {
@@ -147,32 +143,10 @@ func runMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []
 			}
 			return nil
 		})
-		emit := func(held []uint64, last bool) {
-			row := make([]uint64, len(cols))
-			if last {
-				for c, cc := range cols {
-					row[c] = held[cc]
-				}
-			} else {
-				for c := range row {
-					row[c] = dg.Next()
-				}
-			}
-			res.Append(row, 0)
-		}
-		var held []uint64
-		if err := scanChunks(relation.NewPermScanner(s.Rel, perm, nil, chunk), func(ch *relation.Chunk) error {
-			for r := range ch.Tuples {
-				if held != nil {
-					emit(held, !rowsMatch(held, ch.Tuples[r], cols))
-				}
-				held = ch.Tuples[r]
-			}
-			return nil
-		}); err != nil {
+		res, err := mergeOutputRel(s, perm, cols, outSchema, dg, chunk)
+		if err != nil {
 			return nil, err
 		}
-		emit(held, true)
 		return &SharedRelation{Holder: s.Holder, Schema: outSchema, N: n, Rel: res, Annot: newAnnot}, nil
 	}
 
@@ -198,6 +172,95 @@ func runMerge(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []
 		return nil, err
 	}
 	return &SharedRelation{Holder: s.Holder, Schema: outSchema, N: n, Annot: newAnnot}, nil
+}
+
+// mergeOutputRel rebuilds the holder-side output relation of an
+// oblivious merge in a streamed pass over the sorted view: the last row
+// of each group keeps its group values; every other row becomes a fresh
+// dummy. "Last" looks one row ahead, so each row is emitted when its
+// successor arrives (held across chunks).
+func mergeOutputRel(s *SharedRelation, perm, cols []int, outSchema relation.Schema, dg *relation.DummyGen, chunk int) (*relation.Relation, error) {
+	res := relation.New(outSchema)
+	emit := func(held []uint64, last bool) {
+		row := make([]uint64, len(cols))
+		if last {
+			for c, cc := range cols {
+				row[c] = held[cc]
+			}
+		} else {
+			for c := range row {
+				row[c] = dg.Next()
+			}
+		}
+		res.Append(row, 0)
+	}
+	var held []uint64
+	if err := scanChunks(relation.NewPermScanner(s.Rel, perm, nil, chunk), func(ch *relation.Chunk) error {
+		for r := range ch.Tuples {
+			if held != nil {
+				emit(held, !rowsMatch(held, ch.Tuples[r], cols))
+			}
+			held = ch.Tuples[r]
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	emit(held, true)
+	return res, nil
+}
+
+// runMergeGC executes the aggregation on the monolithic-GC backend (see
+// gcbaseline): the holder's sort permutation enters the circuit as
+// selector bits instead of being applied by an OEP, so the pipeline is
+// sort + one circuit. Output structure and share semantics match
+// runMerge exactly — the planner picks between them on cost alone.
+func runMergeGC(p *mpc.Party, dg *relation.DummyGen, s *SharedRelation, groupBy []relation.Attr, kind mergeKind, chunk int) (*SharedRelation, error) {
+	if s.Plain || s.N == 0 {
+		// No protocol choice exists here; the planner never routes these
+		// to a backend, but stay behavior-compatible if called directly.
+		return runMerge(p, dg, s, groupBy, kind, chunk)
+	}
+	outSchema, err := relation.NewSchema(groupBy...)
+	if err != nil {
+		return nil, err
+	}
+	n := s.N
+	or := kind == mergeOr
+	if !s.IsHolder(p) {
+		newAnnot, err := gcbaseline.RunMergeGarbler(p, s.Annot, or)
+		if err != nil {
+			return nil, err
+		}
+		return &SharedRelation{Holder: s.Holder, Schema: outSchema, N: n, Annot: newAnnot}, nil
+	}
+	cols, err := s.Schema.Positions(groupBy)
+	if err != nil {
+		return nil, err
+	}
+	perm := relation.SortPermByColumns(s.Rel, cols)
+	eq := make([]bool, 0, n-1)
+	var prev []uint64
+	if err := scanChunks(relation.NewPermScanner(s.Rel, perm, nil, chunk), func(ch *relation.Chunk) error {
+		for r := range ch.Tuples {
+			if prev != nil {
+				eq = append(eq, rowsMatch(prev, ch.Tuples[r], cols))
+			}
+			prev = ch.Tuples[r]
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	newAnnot, err := gcbaseline.RunMergeEvaluator(p, s.Annot, perm, eq, or)
+	if err != nil {
+		return nil, err
+	}
+	res, err := mergeOutputRel(s, perm, cols, outSchema, dg, chunk)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedRelation{Holder: s.Holder, Schema: outSchema, N: n, Rel: res, Annot: newAnnot}, nil
 }
 
 // localMerge is the plaintext-annotation fast path of the aggregation

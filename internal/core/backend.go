@@ -1,0 +1,346 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"secyan/internal/bifrost"
+	"secyan/internal/gc"
+	"secyan/internal/gcbaseline"
+	"secyan/internal/oep"
+	"secyan/internal/psi"
+)
+
+// This file is the backend mechanism behind the plan compiler's
+// semijoin and aggregate steps. Each applicable backend submits a bid —
+// its byte estimate plus the precompute demands (OT batches, circuits)
+// and OT-extension directions it would consume — and the compiler picks
+// the cheapest bid (or the forced one, where applicable), recording the
+// rejected alternatives on the step for Explain. The psi-oep bids
+// replicate the pre-backend cost logic exactly, so forcing psi-oep
+// reproduces the old plans byte for byte.
+
+// BackendID names a secure-join backend. The empty ID means "choose by
+// cost" in options; on a compiled PlanStep the ID is always concrete.
+type BackendID string
+
+const (
+	// BackendPSIOEP is the paper's circuit-phasing PSI + OEP pipeline
+	// (internal/psi, internal/oep) — the default path, applicable to
+	// every semijoin and aggregate.
+	BackendPSIOEP BackendID = "psi-oep"
+	// BackendBifrost is the simple-hashing comparison-circuit join of
+	// internal/bifrost, applicable to cross-party semijoins whose child
+	// annotations are plaintext at the child holder (the child's join
+	// key is unique by construction: it is always aggregated first).
+	BackendBifrost BackendID = "bifrost"
+	// BackendGC is the monolithic garbled-circuit baseline of
+	// internal/gcbaseline: quadratic circuits with no PSI or OEP,
+	// applicable (and occasionally cheapest) at tiny cardinalities.
+	BackendGC BackendID = "gc"
+	// BackendLocal marks steps with no protocol choice: plain-side
+	// aggregates and semijoins against empty children, which move only
+	// the common multiplication traffic (or nothing).
+	BackendLocal BackendID = "local"
+)
+
+// ParseBackend parses a user-facing backend name: "" and "auto" mean
+// cost-based selection; the concrete names force that backend wherever
+// it is applicable (inapplicable steps keep the cost-based choice).
+func ParseBackend(s string) (BackendID, error) {
+	switch s {
+	case "", "auto":
+		return "", nil
+	case string(BackendPSIOEP):
+		return BackendPSIOEP, nil
+	case string(BackendBifrost):
+		return BackendBifrost, nil
+	case string(BackendGC):
+		return BackendGC, nil
+	}
+	return "", fmt.Errorf("core: unknown backend %q (want auto, psi-oep, bifrost or gc)", s)
+}
+
+// BackendChoice is one entry of a step's pricing table: a backend that
+// bid for the step, its estimate, and whether it won.
+type BackendChoice struct {
+	Backend  BackendID
+	EstBytes int64
+	Chosen   bool
+}
+
+// backendBid is one applicable backend's offer for a plan step: the
+// byte estimate, the OT-extension directions it needs (indexed by
+// sending role — copied from the operator dispatch, never derived from
+// the batch list), and the precompute demands in execution order.
+type backendBid struct {
+	id    BackendID
+	cost  int64
+	needs [2]bool
+	ots   []preOT
+	circs []preCirc
+}
+
+// Applicability caps for the quadratic GC baseline: beyond these the
+// monolithic circuits cannot win on cost and pricing them would only
+// slow compilation down.
+const (
+	gcAlignMaxCombos = 1 << 12 // parent·child comparison pairs
+	gcMergeMaxTuples = 256     // selector matrix is n² bits
+)
+
+// pickBackend selects a bid: the forced backend if it is among the
+// bids, else the minimum estimate (ties keep the earlier bid, and bids
+// are enumerated psi-oep first, so ties preserve the default path). It
+// returns the winner and the full pricing table.
+func pickBackend(bids []backendBid, forced BackendID) (backendBid, []BackendChoice) {
+	sel := -1
+	if forced != "" {
+		for i := range bids {
+			if bids[i].id == forced {
+				sel = i
+				break
+			}
+		}
+	}
+	if sel < 0 {
+		sel = 0
+		for i := 1; i < len(bids); i++ {
+			if bids[i].cost < bids[sel].cost {
+				sel = i
+			}
+		}
+	}
+	alts := make([]BackendChoice, len(bids))
+	for i, b := range bids {
+		alts[i] = BackendChoice{Backend: b.id, EstBytes: b.cost, Chosen: i == sel}
+	}
+	return bids[sel], alts
+}
+
+// aggBids prices every backend applicable to one oblivious aggregation
+// (π^⊕ or π¹) of st. The §6.5 plain path has no protocol choice.
+func aggBids(st nodeState, kind mergeKind, ell int) []backendBid {
+	if st.plain || st.n == 0 {
+		return []backendBid{{id: BackendLocal}}
+	}
+	n := st.n
+	garb := st.holder.Other()
+	// psi-oep: a bijective OEP aligning the shares with the holder's
+	// sort order plus the merge-gate chain. The holder programs the OEP
+	// and evaluates the merge circuit, so the other party sends both
+	// batches: one OT per OEP gate, then the circuit's n·ℓ share bits
+	// and n−1 group-boundary bits.
+	psiBid := backendBid{
+		id:   BackendPSIOEP,
+		cost: oep.Cost(n, n, true) + mergeCost(n, ell, kind),
+		ots: []preOT{
+			{sender: garb, m: oep.Gates(n, n, true)},
+			{sender: garb, m: n*(ell+1) - 1},
+		},
+		circs: []preCirc{{garbler: garb,
+			build: func() *gc.Circuit { return buildMergeCircuit(n, ell, kind) }}},
+	}
+	psiBid.needs[garb] = true
+	bids := []backendBid{psiBid}
+	// gc: the sort permutation enters the circuit as n² selector bits,
+	// so no OEP precedes it. Evaluator inputs: n·ℓ share bits, the
+	// selector matrix, n−1 boundary bits.
+	if n <= gcMergeMaxTuples {
+		or := kind == mergeOr
+		gcBid := backendBid{
+			id:   BackendGC,
+			cost: gcMergeCost(n, ell, or),
+			ots:  []preOT{{sender: garb, m: n*ell + n*n + n - 1}},
+			circs: []preCirc{{garbler: garb,
+				build: func() *gc.Circuit { return gcbaseline.MergeCircuit(n, ell, or) }}},
+		}
+		gcBid.needs[garb] = true
+		bids = append(bids, gcBid)
+	}
+	return bids
+}
+
+// semijoinBids prices every backend applicable to parent ⋈^⊗ child.
+// Every bid includes the common annotation-multiplication tail, which
+// is backend-independent.
+func semijoinBids(par, child nodeState, ell int) []backendBid {
+	finish := func(b backendBid) backendBid {
+		b.cost += mulCost(par.n, ell)
+		if par.n > 0 {
+			b.needs[par.holder.Other()] = true
+			parN := par.n
+			b.circs = append(b.circs, preCirc{par.holder.Other(),
+				func() *gc.Circuit { return buildMulCircuit(parN, ell) }})
+			b.ots = append(b.ots, preOT{par.holder.Other(), 2 * par.n * ell})
+		}
+		return b
+	}
+	switch {
+	case child.n == 0:
+		// The aligned annotations are all-zero locally; only the common
+		// multiplication runs.
+		return []backendBid{finish(backendBid{id: BackendLocal})}
+	case len(child.schema.Attrs) == 0:
+		// Scalar child: a single extended permutation broadcasts the one
+		// annotation; no alternative alignment exists.
+		b := backendBid{id: BackendPSIOEP,
+			cost: oep.Cost(child.n, par.n, false),
+			ots:  []preOT{{par.holder.Other(), oep.Gates(child.n, par.n, false)}}}
+		b.needs[par.holder.Other()] = true
+		return []backendBid{finish(b)}
+	case par.holder == child.holder:
+		// Same-party alignment is one OEP over the holder's local index
+		// map; PSI/bifrost/gc address the cross-party case only.
+		b := backendBid{id: BackendPSIOEP,
+			cost: oep.Cost(child.n+1, par.n, false),
+			ots:  []preOT{{par.holder.Other(), oep.Gates(child.n+1, par.n, false)}}}
+		b.needs[par.holder.Other()] = true
+		return []backendBid{finish(b)}
+	}
+	// Cross-party alignment: the contested case.
+	var bids []backendBid
+	{
+		b := backendBid{id: BackendPSIOEP}
+		if child.plain {
+			pr := psi.NewParams(par.n, child.n)
+			if ell <= psi.IndexWidth(par.n, child.n) {
+				b.cost += psiDirectCost(par.n, child.n, ell)
+				b.circs = append(b.circs, preCirc{child.holder,
+					func() *gc.Circuit { return psi.BuildDirectCircuitForEstimate(pr, ell) }})
+				b.ots = append(b.ots, preOT{child.holder, pr.B * 64})
+			} else {
+				b.cost += psiIndexedCost(par.n, child.n, ell, false)
+				b.circs = append(b.circs, preCirc{child.holder,
+					func() *gc.Circuit { return psi.BuildClearIndexCircuitForEstimate(pr, ell) }})
+				b.ots = append(b.ots,
+					preOT{child.holder, pr.B * 64},
+					preOT{child.holder, oep.Gates(pr.N+pr.B, pr.B, false)})
+			}
+			b.cost += oep.Cost(pr.B, par.n, false)
+			b.ots = append(b.ots, preOT{child.holder, oep.Gates(pr.B, par.n, false)})
+			b.needs[par.holder.Other()] = true
+		} else {
+			pr := psi.NewParams(par.n, child.n)
+			npb := pr.N + pr.B
+			b.cost += psiIndexedCost(par.n, child.n, ell, true)
+			b.cost += oep.Cost(pr.B, par.n, false)
+			b.needs[par.holder.Other()] = true
+			// ξ1 runs with reversed roles: the child holder programs the
+			// permutation, so the parent holder is the OT sender.
+			b.needs[par.holder] = true
+			b.ots = append(b.ots,
+				preOT{par.holder, oep.Gates(npb, npb, true)},
+				preOT{par.holder.Other(), pr.B * 64},
+				preOT{par.holder.Other(), oep.Gates(npb, pr.B, false)},
+				preOT{par.holder.Other(), oep.Gates(pr.B, par.n, false)})
+			b.circs = append(b.circs, preCirc{par.holder.Other(),
+				func() *gc.Circuit { return psi.BuildClearIndexCircuitForEstimate(pr, ell) }})
+		}
+		bids = append(bids, finish(b))
+	}
+	// bifrost: simple hashing + one comparison circuit producing payload
+	// shares per receiver slot, then an OEP scattering slots onto parent
+	// tuples. Requires the child annotations plaintext at the child
+	// holder (its unique-key precondition holds: children are always
+	// aggregated on the join attributes first).
+	if child.plain && par.n > 0 && child.n > 0 {
+		pr := bifrost.NewParams(par.n, child.n)
+		slots := pr.Slots()
+		b := backendBid{id: BackendBifrost,
+			cost: bifrostAlignCost(par.n, child.n, ell) + oep.Cost(slots, par.n, false),
+			ots: []preOT{
+				{child.holder, slots * 64},
+				{child.holder, oep.Gates(slots, par.n, false)},
+			},
+			circs: []preCirc{{child.holder,
+				func() *gc.Circuit { return bifrost.BuildCircuitForEstimate(pr, ell) }}}}
+		b.needs[par.holder.Other()] = true
+		bids = append(bids, finish(b))
+	}
+	// gc: one monolithic circuit comparing every parent key against
+	// every child key — quadratic, priced only at tiny cardinalities.
+	// Evaluator inputs: the child-share words then the parent keys.
+	if par.n > 0 && child.n > 0 && par.n*child.n <= gcAlignMaxCombos {
+		m, n := par.n, child.n
+		b := backendBid{id: BackendGC,
+			cost: gcAlignCost(m, n, ell),
+			ots:  []preOT{{child.holder, n*ell + m*64}},
+			circs: []preCirc{{child.holder,
+				func() *gc.Circuit { return gcbaseline.AlignCircuit(m, n, ell) }}}}
+		b.needs[par.holder.Other()] = true
+		bids = append(bids, finish(b))
+	}
+	return bids
+}
+
+// costCache memoizes the circuit-dimension predictors: candidate-tree
+// enumeration in compileQueryOpts prices the same (size, width) pairs
+// repeatedly, and interpolation garbles probe circuits.
+var costCache sync.Map
+
+type costKey struct {
+	op      string
+	m, n    int
+	ell     int
+	variant int
+}
+
+func cachedCost(k costKey, f func() int64) int64 {
+	if v, ok := costCache.Load(k); ok {
+		return v.(int64)
+	}
+	v := f()
+	costCache.Store(k, v)
+	return v
+}
+
+func mergeCost(n, ell int, kind mergeKind) int64 {
+	return cachedCost(costKey{op: "merge", n: n, ell: ell, variant: int(kind)}, func() int64 {
+		return interpCost(n, func(m int) *gc.Circuit { return buildMergeCircuit(m, ell, kind) })
+	})
+}
+
+func mulCost(n, ell int) int64 {
+	return cachedCost(costKey{op: "mul", n: n, ell: ell}, func() int64 {
+		return interpCost(n, func(m int) *gc.Circuit { return buildMulCircuit(m, ell) })
+	})
+}
+
+func psiDirectCost(m, n, ell int) int64 {
+	return cachedCost(costKey{op: "psi-direct", m: m, n: n, ell: ell}, func() int64 {
+		return psi.DirectCost(m, n, ell)
+	})
+}
+
+func psiIndexedCost(m, n, ell int, shared bool) int64 {
+	v := 0
+	if shared {
+		v = 1
+	}
+	return cachedCost(costKey{op: "psi-indexed", m: m, n: n, ell: ell, variant: v}, func() int64 {
+		return psi.IndexedCost(m, n, ell, shared)
+	})
+}
+
+func bifrostAlignCost(m, n, ell int) int64 {
+	return cachedCost(costKey{op: "bifrost-align", m: m, n: n, ell: ell}, func() int64 {
+		return bifrost.AlignCost(m, n, ell)
+	})
+}
+
+func gcAlignCost(m, n, ell int) int64 {
+	return cachedCost(costKey{op: "gc-align", m: m, n: n, ell: ell}, func() int64 {
+		return gcbaseline.AlignCost(m, n, ell)
+	})
+}
+
+func gcMergeCost(n, ell int, or bool) int64 {
+	v := 0
+	if or {
+		v = 1
+	}
+	return cachedCost(costKey{op: "gc-merge", n: n, ell: ell, variant: v}, func() int64 {
+		return gcbaseline.MergeCost(n, ell, or)
+	})
+}

@@ -18,6 +18,14 @@ import (
 var (
 	mPlanRuns  = obs.NewCounter("secyan_core_plan_runs_total", "Plan executions started (per party side in this process).")
 	mPlanSteps = obs.NewCounter("secyan_core_plan_steps_total", "Plan steps executed (per party side in this process).")
+	// Per-backend step counters: how often the auction (or a forced
+	// option) routed a semijoin/aggregate step to each backend.
+	mBackendSteps = map[BackendID]*obs.Counter{
+		BackendPSIOEP:  obs.NewCounter("secyan_core_backend_psi_oep_steps_total", "Plan steps served by the psi-oep backend."),
+		BackendBifrost: obs.NewCounter("secyan_core_backend_bifrost_steps_total", "Plan steps served by the bifrost backend."),
+		BackendGC:      obs.NewCounter("secyan_core_backend_gc_steps_total", "Plan steps served by the gc backend."),
+		BackendLocal:   obs.NewCounter("secyan_core_backend_local_steps_total", "Plan steps with no protocol choice (local/degenerate)."),
+	}
 )
 
 // This file is the plan executor: Run and RunShared compile the query
@@ -48,6 +56,11 @@ type ExecOptions struct {
 	// per-step traces and per-stream transport stats are byte-identical
 	// for every value — the chunk-invariance suites pin this.
 	ChunkSize int
+	// Backend forces every semijoin/aggregate step onto one backend
+	// wherever it is applicable (see PlanOptions.Backend). Unlike
+	// ChunkSize this changes the transcript: both parties must pass the
+	// same value.
+	Backend BackendID
 }
 
 // RunContext is Run with cancellation and per-step observability: it
@@ -91,7 +104,8 @@ func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool, opts Exec
 	}
 	// Run compiles with estOut=0: the step sequence is estOut-independent
 	// and the true output size is only known at run time.
-	plan, err := compileQuery(q, p.Ring.Bits, 0, opts.ChunkSize)
+	plan, err := compileQueryOpts(q, p.Ring.Bits,
+		PlanOptions{ChunkSize: opts.ChunkSize, Backend: opts.Backend})
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -162,7 +176,8 @@ func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool, opts Exec
 		start := time.Now()
 		err := ex.exec(st)
 		after := pp.Conn.Stats()
-		rec := TraceStep{Phase: st.Phase, Op: st.Op, Node: st.Node, N: st.N, EstBytes: st.EstBytes,
+		rec := TraceStep{Phase: st.Phase, Op: st.Op, Node: st.Node, Backend: string(st.Backend),
+			N: st.N, EstBytes: st.EstBytes,
 			Bytes:    after.TotalBytes() - before.TotalBytes(),
 			Messages: (after.MessagesSent + after.MessagesRecv) - (before.MessagesSent + before.MessagesRecv),
 			Rounds:   after.Rounds - before.Rounds,
@@ -255,7 +270,7 @@ func (ex *executor) exec(st *PlanStep) error {
 		ex.srs[st.node] = sr
 		return nil
 	case stepAggregate:
-		agg, err := runMerge(p, ex.dg, ex.srs[st.node], st.attrs, mergeSum, ex.chunk)
+		agg, err := ex.merge(st, ex.srs[st.node], mergeSum)
 		if err != nil {
 			return err
 		}
@@ -266,7 +281,7 @@ func (ex *executor) exec(st *PlanStep) error {
 		}
 		return nil
 	case stepProjectOne:
-		ind, err := runMerge(p, ex.dg, ex.srs[st.node], st.attrs, mergeOr, ex.chunk)
+		ind, err := ex.merge(st, ex.srs[st.node], mergeOr)
 		if err != nil {
 			return err
 		}
@@ -275,7 +290,8 @@ func (ex *executor) exec(st *PlanStep) error {
 	case stepSemijoinInto:
 		child := ex.pending
 		ex.pending = nil
-		joined, err := semijoinIntoChunked(p, ex.dg, ex.srs[st.parent], child, ex.chunk)
+		countBackendStep(st)
+		joined, err := semijoinIntoChunked(p, ex.dg, ex.srs[st.parent], child, ex.chunk, st.Backend)
 		if err != nil {
 			return err
 		}
@@ -305,6 +321,24 @@ func (ex *executor) exec(st *PlanStep) error {
 		return ex.revealJoin()
 	}
 	return fmt.Errorf("core: unknown plan step kind %d", st.kind)
+}
+
+// merge dispatches one aggregate/project-one step to the backend the
+// plan chose for it.
+func (ex *executor) merge(st *PlanStep, s *SharedRelation, kind mergeKind) (*SharedRelation, error) {
+	countBackendStep(st)
+	if st.Backend == BackendGC {
+		return runMergeGC(ex.p, ex.dg, s, st.attrs, kind, ex.chunk)
+	}
+	return runMerge(ex.p, ex.dg, s, st.attrs, kind, ex.chunk)
+}
+
+// countBackendStep bumps the per-backend obs counter for one executed
+// semijoin/aggregate step.
+func countBackendStep(st *PlanStep) {
+	if c := mBackendSteps[st.Backend]; c != nil {
+		c.Inc()
+	}
 }
 
 // localJoin is §6.3 step 2: Alice joins the revealed relations with the

@@ -10,7 +10,6 @@ import (
 	"secyan/internal/mpc"
 	"secyan/internal/oep"
 	"secyan/internal/ot"
-	"secyan/internal/psi"
 	"secyan/internal/relation"
 )
 
@@ -87,6 +86,13 @@ type PlanStep struct {
 	// whole step is online and EstBytes alone applies.
 	EstOfflineBytes int64
 	EstOnlineBytes  int64
+	// Backend is the secure-join backend serving this step. Semijoin and
+	// aggregate steps carry the winner of the per-node backend auction
+	// (see backend.go); every other step is empty.
+	Backend BackendID
+	// Alternatives is the step's full pricing table: every backend that
+	// bid, its estimate, and which one won. Explain renders it.
+	Alternatives []BackendChoice
 
 	// Executor fields, invisible to plan consumers: the step's action and
 	// its operands as node indices into the query's inputs.
@@ -136,19 +142,39 @@ type Plan struct {
 	singleNode int   // surviving node of the single-survivor shortcut, -1 otherwise
 }
 
+// PlanOptions parameterize compilation.
+type PlanOptions struct {
+	// EstOut is the assumed output size, used only by the join-phase
+	// steps of multi-survivor queries.
+	EstOut int
+	// ChunkSize is the tuple-plane streaming granularity (0 = the
+	// process default, negative = relation.Unbounded).
+	ChunkSize int
+	// Backend forces every semijoin/aggregate step onto one backend
+	// wherever it is applicable; inapplicable steps keep the cost-based
+	// choice. Empty means cost-based selection everywhere.
+	Backend BackendID
+}
+
 // Explain builds the plan for q with estOut as the assumed output size
 // (used only by the join-phase steps of multi-survivor queries). The
 // returned Plan is the same object the executor runs: Run differs only
 // in feeding it data.
 func Explain(q *Query, ringBits, estOut int) (*Plan, error) {
-	return compileQuery(q, ringBits, estOut, 0)
+	return compileQueryOpts(q, ringBits, PlanOptions{EstOut: estOut})
 }
 
 // ExplainChunked is Explain with an explicit chunk size (0 = the
 // process default, negative = relation.Unbounded), populating the
 // plan's ChunkSize and per-step chunk demands.
 func ExplainChunked(q *Query, ringBits, estOut, chunk int) (*Plan, error) {
-	return compileQuery(q, ringBits, estOut, chunk)
+	return compileQueryOpts(q, ringBits, PlanOptions{EstOut: estOut, ChunkSize: chunk})
+}
+
+// ExplainOpts is Explain with full PlanOptions, including a forced
+// backend.
+func ExplainOpts(q *Query, ringBits int, po PlanOptions) (*Plan, error) {
+	return compileQueryOpts(q, ringBits, po)
 }
 
 // nodeState is the public protocol state of one tree node during
@@ -171,28 +197,47 @@ func interpCost(n int, build func(int) *gc.Circuit) int64 {
 	return gc.InterpolateDims(build, n).MessageCost()
 }
 
-func mergeCost(n, ell int, kind mergeKind) int64 {
-	return interpCost(n, func(m int) *gc.Circuit { return buildMergeCircuit(m, ell, kind) })
-}
-
-func mulCost(n, ell int) int64 {
-	return interpCost(n, func(m int) *gc.Circuit { return buildMulCircuit(m, ell) })
-}
-
 func productCost(n, k, ell int) int64 {
 	return interpCost(n, func(m int) *gc.Circuit { return buildProductCircuit(m, k, ell) })
 }
 
-// compileQuery compiles q into its physical plan, mirroring the
-// three-phase driver on nodeState. estOut sizes the join-phase
-// estimates only; the step sequence is independent of it, so a plan
-// compiled with estOut=0 (as Run does) produces the same trace shape as
-// one compiled with the true output size.
+// compileQuery compiles q into its physical plan with default options.
 func compileQuery(q *Query, ringBits, estOut, chunk int) (*Plan, error) {
-	tree, err := q.Hypergraph().Plan(q.Output)
+	return compileQueryOpts(q, ringBits, PlanOptions{EstOut: estOut, ChunkSize: chunk})
+}
+
+// compileQueryOpts compiles q into its physical plan. The join-tree
+// root is itself chosen by cost: every candidate rooted tree the
+// planner accepts is compiled (with the same options, including any
+// forced backend) and the one with the smallest total estimate wins;
+// ties keep the planner's first candidate, which is the tree the
+// pre-costing planner would have picked.
+func compileQueryOpts(q *Query, ringBits int, po PlanOptions) (*Plan, error) {
+	switch po.Backend {
+	case "", BackendPSIOEP, BackendBifrost, BackendGC:
+	default:
+		return nil, fmt.Errorf("core: unknown backend %q (want auto, psi-oep, bifrost or gc)", po.Backend)
+	}
+	tree, err := q.Hypergraph().PlanCosted(q.Output, func(t *jointree.Tree) (int64, error) {
+		pl, err := compileTree(q, t, ringBits, po)
+		if err != nil {
+			return 0, err
+		}
+		return pl.EstBytes, nil
+	})
 	if err != nil {
 		return nil, err
 	}
+	return compileTree(q, tree, ringBits, po)
+}
+
+// compileTree compiles q over one rooted join tree, mirroring the
+// three-phase driver on nodeState. po.EstOut sizes the join-phase
+// estimates only; the step sequence is independent of it, so a plan
+// compiled with EstOut=0 (as Run does) produces the same trace shape as
+// one compiled with the true output size.
+func compileTree(q *Query, tree *jointree.Tree, ringBits int, po PlanOptions) (*Plan, error) {
+	estOut, chunk := po.EstOut, po.ChunkSize
 	if chunk == 0 {
 		chunk = relation.DefaultChunkSize()
 	}
@@ -224,94 +269,25 @@ func compileQuery(q *Query, ringBits, estOut, chunk int) (*Plan, error) {
 		}
 	}
 
-	// The cost closures return the step's byte estimate together with its
-	// precompute demands: every OT batch (in execution order) and every
-	// garbled circuit the operator will run. The demands replay the exact
-	// dispatch logic of the operators (aggregate.go, semijoin.go,
-	// join.go), so Precompute can garble and fill pools from the plan
-	// alone, and the estimate arithmetic is untouched.
-
-	// aggCost prices one oblivious aggregation (π^⊕ or π¹): a bijective
-	// OEP aligning the shares with the holder's sort order plus the
-	// merge-gate chain. The §6.5 plain path is free.
-	aggCost := func(st nodeState, kind mergeKind) (int64, []preOT, []preCirc) {
-		if st.plain || st.n == 0 {
-			return 0, nil, nil
-		}
-		needOT[st.holder.Other()] = true
-		n := st.n
-		// The holder programs the OEP and evaluates the merge circuit, so
-		// the other party sends both batches: one OT per OEP gate, then
-		// the circuit's n·ℓ share bits and n−1 group-boundary bits.
-		ots := []preOT{
-			{sender: st.holder.Other(), m: oep.Gates(n, n, true)},
-			{sender: st.holder.Other(), m: n*(ell+1) - 1},
-		}
-		circs := []preCirc{{garbler: st.holder.Other(),
-			build: func() *gc.Circuit { return buildMergeCircuit(n, ell, kind) }}}
-		return oep.Cost(n, n, true) + mergeCost(n, ell, kind), ots, circs
+	// Semijoin and aggregate steps are priced by a backend auction (see
+	// backend.go): every applicable backend bids its byte estimate plus
+	// precompute demands — every OT batch (in execution order) and every
+	// garbled circuit the operator will run — and the winner's demands
+	// replay the exact dispatch logic of the operators (aggregate.go,
+	// semijoin.go), so Precompute can garble and fill pools from the
+	// plan alone. chooseAgg and chooseSemijoin merge the winner's
+	// OT-extension directions into needOT.
+	chooseAgg := func(st nodeState, kind mergeKind) (backendBid, []BackendChoice) {
+		bid, alts := pickBackend(aggBids(st, kind, ell), po.Backend)
+		needOT[0] = needOT[0] || bid.needs[0]
+		needOT[1] = needOT[1] || bid.needs[1]
+		return bid, alts
 	}
-	// semijoinCost prices parent ⋈^⊗ child including the final product
-	// circuit, selecting the same alignment strategy SemijoinInto will.
-	semijoinCost := func(par, child nodeState) (int64, []preOT, []preCirc) {
-		var ots []preOT
-		var circs []preCirc
-		cost := mulCost(par.n, ell)
-		if par.n > 0 {
-			needOT[par.holder.Other()] = true
-		}
-		switch {
-		case child.n == 0:
-		case len(child.schema.Attrs) == 0:
-			cost += oep.Cost(child.n, par.n, false)
-			needOT[par.holder.Other()] = true
-			ots = append(ots, preOT{par.holder.Other(), oep.Gates(child.n, par.n, false)})
-		case par.holder == child.holder:
-			cost += oep.Cost(child.n+1, par.n, false)
-			needOT[par.holder.Other()] = true
-			ots = append(ots, preOT{par.holder.Other(), oep.Gates(child.n+1, par.n, false)})
-		case child.plain:
-			pr := psi.NewParams(par.n, child.n)
-			if ell <= psi.IndexWidth(par.n, child.n) {
-				cost += psi.DirectCost(par.n, child.n, ell)
-				circs = append(circs, preCirc{child.holder,
-					func() *gc.Circuit { return psi.BuildDirectCircuitForEstimate(pr, ell) }})
-				ots = append(ots, preOT{child.holder, pr.B * 64})
-			} else {
-				cost += psi.IndexedCost(par.n, child.n, ell, false)
-				circs = append(circs, preCirc{child.holder,
-					func() *gc.Circuit { return psi.BuildClearIndexCircuitForEstimate(pr, ell) }})
-				ots = append(ots,
-					preOT{child.holder, pr.B * 64},
-					preOT{child.holder, oep.Gates(pr.N+pr.B, pr.B, false)})
-			}
-			cost += oep.Cost(pr.B, par.n, false)
-			ots = append(ots, preOT{child.holder, oep.Gates(pr.B, par.n, false)})
-			needOT[par.holder.Other()] = true
-		default:
-			pr := psi.NewParams(par.n, child.n)
-			npb := pr.N + pr.B
-			cost += psi.IndexedCost(par.n, child.n, ell, true)
-			cost += oep.Cost(pr.B, par.n, false)
-			needOT[par.holder.Other()] = true
-			// ξ1 runs with reversed roles: the child holder programs the
-			// permutation, so the parent holder is the OT sender.
-			needOT[par.holder] = true
-			ots = append(ots,
-				preOT{par.holder, oep.Gates(npb, npb, true)},
-				preOT{par.holder.Other(), pr.B * 64},
-				preOT{par.holder.Other(), oep.Gates(npb, pr.B, false)},
-				preOT{par.holder.Other(), oep.Gates(pr.B, par.n, false)})
-			circs = append(circs, preCirc{par.holder.Other(),
-				func() *gc.Circuit { return psi.BuildClearIndexCircuitForEstimate(pr, ell) }})
-		}
-		if par.n > 0 {
-			parN := par.n
-			circs = append(circs, preCirc{par.holder.Other(),
-				func() *gc.Circuit { return buildMulCircuit(parN, ell) }})
-			ots = append(ots, preOT{par.holder.Other(), 2 * par.n * ell})
-		}
-		return cost, ots, circs
+	chooseSemijoin := func(par, child nodeState) (backendBid, []BackendChoice) {
+		bid, alts := pickBackend(semijoinBids(par, child, ell), po.Backend)
+		needOT[0] = needOT[0] || bid.needs[0]
+		needOT[1] = needOT[1] || bid.needs[1]
+		return bid, alts
 	}
 	// revealRowsCost prices the §6.3 step-1 reveal of one relation.
 	revealRowsCost := func(st nodeState) (int64, []preOT, []preCirc) {
@@ -360,18 +336,18 @@ func compileQuery(q *Query, ringBits, estOut, chunk int) (*Plan, error) {
 				break
 			}
 		}
-		cost, ots, circs := aggCost(state[i], mergeSum)
+		bid, alts := chooseAgg(state[i], mergeSum)
 		add(PlanStep{Phase: "reduce", Op: "aggregate", Node: q.Inputs[i].Name,
-			N: state[i].n, EstBytes: cost,
+			N: state[i].n, EstBytes: bid.cost, Backend: bid.id, Alternatives: alts,
 			kind: stepAggregate, node: i, attrs: fPrime, intoPending: subset,
-			preOTs: ots, preCircs: circs})
+			preOTs: bid.ots, preCircs: bid.circs})
 		state[i].schema = relation.MustSchema(fPrime...)
 		if subset {
-			cost, ots, circs := semijoinCost(state[parent], state[i])
+			bid, alts := chooseSemijoin(state[parent], state[i])
 			add(PlanStep{Phase: "reduce", Op: "semijoin-into", Node: q.Inputs[i].Name + "→" + q.Inputs[parent].Name,
-				N: state[parent].n, EstBytes: cost,
+				N: state[parent].n, EstBytes: bid.cost, Backend: bid.id, Alternatives: alts,
 				kind: stepSemijoinInto, parent: parent,
-				preOTs: ots, preCircs: circs})
+				preOTs: bid.ots, preCircs: bid.circs})
 			state[parent].plain = false
 			removed[i] = true
 			childrenLeft[parent]--
@@ -425,11 +401,11 @@ func compileQuery(q *Query, ringBits, estOut, chunk int) (*Plan, error) {
 				keep = append(keep, a)
 			}
 		}
-		cost, ots, circs := aggCost(state[i], mergeSum)
+		bid, alts := chooseAgg(state[i], mergeSum)
 		add(PlanStep{Phase: "aggregate", Op: "aggregate", Node: q.Inputs[i].Name,
-			N: state[i].n, EstBytes: cost,
+			N: state[i].n, EstBytes: bid.cost, Backend: bid.id, Alternatives: alts,
 			kind: stepAggregate, node: i, attrs: keep,
-			preOTs: ots, preCircs: circs})
+			preOTs: bid.ots, preCircs: bid.circs})
 		state[i].schema = relation.MustSchema(keep...)
 	}
 
@@ -448,18 +424,18 @@ func compileQuery(q *Query, ringBits, estOut, chunk int) (*Plan, error) {
 	// Phase 2: Semijoin — π¹ on the filter side plus the semijoin itself.
 	semijoin := func(target, by int) {
 		shared := state[target].schema.Intersect(state[by].schema)
-		cost, ots, circs := aggCost(state[by], mergeOr)
+		bid, alts := chooseAgg(state[by], mergeOr)
 		add(PlanStep{Phase: "semijoin", Op: "project-one", Node: q.Inputs[by].Name,
-			N: state[by].n, EstBytes: cost,
+			N: state[by].n, EstBytes: bid.cost, Backend: bid.id, Alternatives: alts,
 			kind: stepProjectOne, node: by, attrs: shared,
-			preOTs: ots, preCircs: circs})
+			preOTs: bid.ots, preCircs: bid.circs})
 		ind := nodeState{schema: relation.MustSchema(shared...), n: state[by].n,
 			plain: state[by].plain, holder: state[by].holder}
-		cost, ots, circs = semijoinCost(state[target], ind)
+		bid, alts = chooseSemijoin(state[target], ind)
 		add(PlanStep{Phase: "semijoin", Op: "semijoin-into", Node: q.Inputs[by].Name + "→" + q.Inputs[target].Name,
-			N: state[target].n, EstBytes: cost,
+			N: state[target].n, EstBytes: bid.cost, Backend: bid.id, Alternatives: alts,
 			kind: stepSemijoinInto, parent: target,
-			preOTs: ots, preCircs: circs})
+			preOTs: bid.ots, preCircs: bid.circs})
 		state[target].plain = false
 	}
 	for _, i := range remaining {

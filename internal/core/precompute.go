@@ -57,10 +57,18 @@ type preparedCirc struct {
 // both parties at the same protocol point, since pooled OT batches must
 // stay symmetric.
 func Precompute(ctx context.Context, p *mpc.Party, q *Query) (*Trace, error) {
+	return PrecomputeOpts(ctx, p, q, PlanOptions{})
+}
+
+// PrecomputeOpts is Precompute with explicit plan options: the staged
+// material is shaped by the same backend selection (forced or
+// cost-based) the online run must then use.
+func PrecomputeOpts(ctx context.Context, p *mpc.Party, q *Query, po PlanOptions) (*Trace, error) {
 	// No Validate: the offline phase is data-independent, so q may be a
 	// bare query shape (schemas, owners, sizes) with no relations
 	// attached — e.g. queries.PlanFor output.
-	plan, err := compileQuery(q, p.Ring.Bits, 0, 0)
+	po.EstOut, po.ChunkSize = 0, 0
+	plan, err := compileQueryOpts(q, p.Ring.Bits, po)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -12,7 +13,9 @@ import (
 
 // TestConstantRounds checks the paper's round-complexity claim (§1.2):
 // the number of communication rounds depends only on the query, not on
-// the data size.
+// the data size. The backend is pinned because cost-based selection may
+// legitimately switch protocols between public sizes; the claim is
+// per-protocol.
 func TestConstantRounds(t *testing.T) {
 	rounds := func(scaleRows int) int64 {
 		rng := rand.New(rand.NewSource(5))
@@ -33,9 +36,13 @@ func TestConstantRounds(t *testing.T) {
 			}
 			return cq
 		}
+		run := func(p *mpc.Party, q *Query) (*relation.Relation, error) {
+			rel, _, err := RunContextOpts(context.Background(), p, q, ExecOptions{Backend: BackendPSIOEP})
+			return rel, err
+		}
 		_, _, err := mpc.Run2PC(alice, bob,
-			func(p *mpc.Party) (*relation.Relation, error) { return Run(p, queryFor(mpc.Alice)) },
-			func(p *mpc.Party) (*relation.Relation, error) { return Run(p, queryFor(mpc.Bob)) },
+			func(p *mpc.Party) (*relation.Relation, error) { return run(p, queryFor(mpc.Alice)) },
+			func(p *mpc.Party) (*relation.Relation, error) { return run(p, queryFor(mpc.Bob)) },
 		)
 		if err != nil {
 			t.Fatal(err)

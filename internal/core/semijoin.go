@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 
+	"secyan/internal/bifrost"
 	"secyan/internal/gc"
+	"secyan/internal/gcbaseline"
 	"secyan/internal/mpc"
 	"secyan/internal/oep"
 	"secyan/internal/psi"
@@ -140,12 +142,15 @@ func childKeys(rel *relation.Relation, chunk int) ([]uint64, error) {
 // parent.Schema (paper §6.2). The result keeps the parent's tuples and
 // holder; only the annotation shares change.
 func SemijoinInto(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedRelation) (*SharedRelation, error) {
-	return semijoinIntoChunked(p, dg, parent, child, 0)
+	return semijoinIntoChunked(p, dg, parent, child, 0, "")
 }
 
 // semijoinIntoChunked is SemijoinInto with an explicit tuple-plane chunk
-// size (0 = process default, negative = unbounded).
-func semijoinIntoChunked(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedRelation, chunk int) (*SharedRelation, error) {
+// size (0 = process default, negative = unbounded) and backend. The
+// backend selects the cross-party alignment protocol only; the
+// degenerate and same-party cases have a single implementation, and an
+// empty backend means the default PSI pipeline.
+func semijoinIntoChunked(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedRelation, chunk int, backend BackendID) (*SharedRelation, error) {
 	for _, a := range child.Schema.Attrs {
 		if !parent.Schema.Has(a) {
 			return nil, fmt.Errorf("core: SemijoinInto requires child attrs ⊆ parent attrs (missing %q)", a)
@@ -165,6 +170,10 @@ func semijoinIntoChunked(p *mpc.Party, dg *relation.DummyGen, parent, child *Sha
 		zShares, err = alignScalar(p, parent, child)
 	case parent.Holder == child.Holder:
 		zShares, err = alignSameParty(p, dg, parent, child, chunk)
+	case backend == BackendBifrost:
+		zShares, err = alignBifrost(p, dg, parent, child, chunk)
+	case backend == BackendGC:
+		zShares, err = alignGC(p, parent, child, chunk)
 	case child.Plain:
 		// §6.5: the child holder knows its annotations, so the cheaper
 		// plain-payload PSI replaces the secret-shared-payload protocol.
@@ -320,6 +329,74 @@ func alignCrossPartyPlain(p *mpc.Party, dg *relation.DummyGen, parent, child *Sh
 		return nil, err
 	}
 	return binAlignment(p, res, keyOf)
+}
+
+// alignBifrost is the bifrost backend's cross-party alignment: both
+// parties simple-hash the join keys, one comparison circuit produces
+// payload shares per receiver slot, and the parent holder's OEP
+// scatters slots onto parent tuples — no cuckoo table and no separate
+// index circuit. Selected by the planner only when the child's
+// annotations are plaintext at its holder (§6.5 conditions), which also
+// guarantees bifrost's unique-sender-key precondition.
+func alignBifrost(p *mpc.Party, dg *relation.DummyGen, parent, child *SharedRelation, chunk int) ([]uint64, error) {
+	m := parent.N
+	if p.Role != parent.Holder {
+		keys, err := childKeys(child.Rel, chunk)
+		if err != nil {
+			return nil, err
+		}
+		res, err := bifrost.RunSender(p, keys, child.Annot, m)
+		if err != nil {
+			return nil, err
+		}
+		return oep.RunHelper(p, res.Params.Slots(), m, res.PayShares)
+	}
+	xs, keyOf, err := parentKeysForPSI(parent, child, dg, chunk)
+	if err != nil {
+		return nil, err
+	}
+	res, err := bifrost.RunReceiver(p, xs, child.N)
+	if err != nil {
+		return nil, err
+	}
+	xi := make([]int, m)
+	for j, k := range keyOf {
+		s, ok := res.SlotOf[k]
+		if !ok {
+			return nil, fmt.Errorf("core: parent key missing from bifrost slots")
+		}
+		xi[j] = s
+	}
+	return oep.RunProgrammer(p, xi, res.Params.Slots(), res.PayShares)
+}
+
+// alignGC is the monolithic-GC backend's cross-party alignment: a
+// single quadratic circuit compares every parent key against every
+// child key and emits fresh shares of the matching child annotation per
+// parent tuple. Works for plain and shared child annotations alike —
+// each side feeds its Annot vector (the non-holder's is all zeros when
+// the child is plain), and the circuit reconstructs the sum.
+func alignGC(p *mpc.Party, parent, child *SharedRelation, chunk int) ([]uint64, error) {
+	if p.Role != parent.Holder {
+		keys, err := childKeys(child.Rel, chunk)
+		if err != nil {
+			return nil, err
+		}
+		return gcbaseline.RunAlignGarbler(p, keys, child.Annot, parent.N)
+	}
+	cols, err := parent.Schema.Positions(child.Schema.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	m := parent.N
+	parentKeys := make([]uint64, m)
+	relation.Range(m, chunk, func(lo, hi int) error {
+		for j := lo; j < hi; j++ {
+			parentKeys[j] = parent.Rel.Key(j, cols)
+		}
+		return nil
+	})
+	return gcbaseline.RunAlignEvaluator(p, parentKeys, child.Annot)
 }
 
 // alignCrossParty aligns child annotation shares to parent tuples across

@@ -225,6 +225,100 @@ func (h *Hypergraph) Plan(output []relation.Attr) (*Tree, error) {
 	return nil, ErrNotFreeConnex
 }
 
+// Candidates enumerates every rooted join tree the planner would accept
+// for the output attributes, in preference order: all trees satisfying
+// condition (2) of §3.1 first (the tier Plan picks from), then the
+// reduce-simulation fallback tier. Within each tier the order is the
+// Prüfer enumeration order, so Candidates[0] is exactly the tree Plan
+// returns. It reports the same errors as Plan when no tree qualifies.
+func (h *Hypergraph) Candidates(output []relation.Attr) ([]*Tree, error) {
+	k := len(h.Edges)
+	if k == 0 {
+		return nil, fmt.Errorf("jointree: empty hypergraph")
+	}
+	all := toSet(h.AllAttrs())
+	for _, a := range output {
+		if !all[a] {
+			return nil, fmt.Errorf("jointree: output attribute %q not in any relation", a)
+		}
+	}
+	if k > maxPlanEdges {
+		return nil, fmt.Errorf("jointree: planner supports at most %d relations, got %d", maxPlanEdges, k)
+	}
+	if k == 1 {
+		t, err := newTree(h, 0, []int{-1})
+		if err != nil {
+			return nil, err
+		}
+		return []*Tree{t}, nil
+	}
+	sets := edgeSets(h.Edges)
+	outSet := toSet(output)
+
+	foundJoinTree := false
+	var preferred, fallback []*Tree
+	forEachLabeledTree(k, func(adj [][]int) bool {
+		if !hasRunningIntersection(sets, adj) {
+			return false
+		}
+		foundJoinTree = true
+		for root := 0; root < k; root++ {
+			parent := rootTree(adj, root)
+			if satisfiesFreeConnex(sets, outSet, parent, root) {
+				if t, err := newTree(h, root, parent); err == nil {
+					preferred = append(preferred, t)
+				}
+			} else if reduceSimulationAccepts(sets, outSet, parent, root) {
+				if t, err := newTree(h, root, parent); err == nil {
+					fallback = append(fallback, t)
+				}
+			}
+		}
+		return false
+	})
+	if len(preferred) > 0 {
+		return preferred, nil
+	}
+	if len(fallback) > 0 {
+		return fallback, nil
+	}
+	if !foundJoinTree {
+		return nil, ErrCyclic
+	}
+	return nil, ErrNotFreeConnex
+}
+
+// PlanCosted picks the candidate tree minimizing cost(t) — the hook the
+// core plan compiler uses for cost-based root (and tree) selection. A
+// candidate whose cost call fails is skipped; ties keep the earliest
+// candidate, so with a constant cost function PlanCosted degenerates to
+// Plan. If every candidate fails, the first cost error is returned.
+func (h *Hypergraph) PlanCosted(output []relation.Attr, cost func(*Tree) (int64, error)) (*Tree, error) {
+	cands, err := h.Candidates(output)
+	if err != nil {
+		return nil, err
+	}
+	var best *Tree
+	var bestCost int64
+	var firstErr error
+	for _, t := range cands {
+		c, err := cost(t)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if best == nil || c < bestCost {
+			best, bestCost = t, c
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}
+
 // reduceSimulationAccepts replays the engine's reduce phase on attribute
 // sets only and accepts the rooted tree exactly when the engine can
 // finish in O(IN + OUT): every surviving non-root node ends up with

@@ -123,3 +123,96 @@ func TestPropertyIsFreeConnexAgreesWithPlan(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPropertyPlanCostedIsArgmin: over randomized acyclic shapes and a
+// deterministic synthetic cost function, the tree PlanCosted returns
+// must cost no more than every candidate Candidates enumerates — the
+// contract the core compiler's root selection relies on (DESIGN.md
+// §13). With a constant cost it must degenerate to Plan's pick.
+func TestPropertyPlanCostedIsArgmin(t *testing.T) {
+	f := func(seed int64, kRaw uint8, weight uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw%5) + 1
+		h := randomAcyclicHypergraph(rng, k)
+		all := h.AllAttrs()
+		var output []relation.Attr
+		for _, a := range all {
+			if rng.Intn(3) == 0 {
+				output = append(output, a)
+			}
+		}
+		cands, err := h.Candidates(output)
+		if err != nil {
+			return err != ErrCyclic
+		}
+		// A synthetic but deterministic cost: root identity and tree depth
+		// weighted by the fuzzed coefficient, so different trees genuinely
+		// differ and ties still occur.
+		cost := func(tr *Tree) (int64, error) {
+			c := int64(tr.Root) * int64(weight%7+1)
+			for i := range tr.PostOrder {
+				c += int64(tr.Depth(i))
+			}
+			return c, nil
+		}
+		best, err := h.PlanCosted(output, cost)
+		if err != nil {
+			return false
+		}
+		bestCost, _ := cost(best)
+		for _, cand := range cands {
+			if c, _ := cost(cand); c < bestCost {
+				return false
+			}
+		}
+		// Constant cost degenerates to Plan's choice.
+		flat, err := h.PlanCosted(output, func(*Tree) (int64, error) { return 1, nil })
+		if err != nil {
+			return false
+		}
+		planned, err := h.Plan(output)
+		if err != nil || flat.Root != planned.Root {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCandidatesFirstIsPlan pins the tie-preservation contract:
+// Candidates[0] is exactly the tree Plan returns.
+func TestPropertyCandidatesFirstIsPlan(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw%5) + 1
+		h := randomAcyclicHypergraph(rng, k)
+		var output []relation.Attr
+		for _, a := range h.AllAttrs() {
+			if rng.Intn(2) == 0 {
+				output = append(output, a)
+			}
+		}
+		cands, err := h.Candidates(output)
+		if err != nil {
+			return err != ErrCyclic
+		}
+		planned, err := h.Plan(output)
+		if err != nil || len(cands) == 0 {
+			return false
+		}
+		if cands[0].Root != planned.Root || len(cands[0].PostOrder) != len(planned.PostOrder) {
+			return false
+		}
+		for i := range planned.PostOrder {
+			if cands[0].PostOrder[i] != planned.PostOrder[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

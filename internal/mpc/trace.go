@@ -13,7 +13,11 @@ type StepTrace struct {
 	Phase string
 	Op    string
 	Node  string
-	N     int // public size the step operates on
+	// Backend names the secure-join backend serving the step (semijoin
+	// and aggregate steps only; empty elsewhere). Typed as a string to
+	// keep this package free of core's BackendID.
+	Backend string
+	N       int // public size the step operates on
 
 	EstBytes int64 // planned cost from PlanStep.Estimate
 	Bytes    int64 // measured, both directions

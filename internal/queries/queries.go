@@ -13,6 +13,7 @@
 package queries
 
 import (
+	"context"
 	"fmt"
 
 	"secyan/internal/core"
@@ -30,8 +31,10 @@ type Spec struct {
 	Name        string
 	Figure      int // paper figure number reproducing this query
 	Description string
-	// Secure executes the 2PC protocol; Alice receives the results.
-	Secure func(p *mpc.Party, db *tpch.DB) (*relation.Relation, error)
+	// SecureOpts executes the 2PC protocol with explicit execution
+	// options (forced backend, chunk size); Alice receives the results.
+	// Both parties must pass the same backend.
+	SecureOpts func(p *mpc.Party, db *tpch.DB, opts core.ExecOptions) (*relation.Relation, error)
 	// Plain evaluates the query in the clear with the plaintext
 	// Yannakakis engine over the same ring.
 	Plain func(db *tpch.DB, bits int) (*relation.Relation, error)
@@ -96,6 +99,12 @@ func inputFor(p *mpc.Party, name string, owner mpc.Role, rel *relation.Relation)
 	return in
 }
 
+// Secure executes the 2PC protocol with default options; Alice
+// receives the results.
+func (s Spec) Secure(p *mpc.Party, db *tpch.DB) (*relation.Relation, error) {
+	return s.SecureOpts(p, db, core.ExecOptions{})
+}
+
 // plainRun evaluates a prepared query in the clear.
 func plainRun(inputs []*relation.Relation, names []string, output []Attr, bits int) (*relation.Relation, error) {
 	h := &core.Query{}
@@ -144,7 +153,7 @@ func Q3() Spec {
 		Name:        "Q3",
 		Figure:      2,
 		Description: "revenue by order over customer ⋈ orders ⋈ lineitem, private selections",
-		Secure: func(p *mpc.Party, db *tpch.DB) (*relation.Relation, error) {
+		SecureOpts: func(p *mpc.Party, db *tpch.DB, opts core.ExecOptions) (*relation.Relation, error) {
 			cust, ord, li := q3Relations(db)
 			q := &core.Query{
 				Inputs: []core.Input{
@@ -154,7 +163,8 @@ func Q3() Spec {
 				},
 				Output: q3Output,
 			}
-			return core.Run(p, q)
+			rel, _, err := core.RunContextOpts(context.Background(), p, q, opts)
+			return rel, err
 		},
 		Plain: func(db *tpch.DB, bits int) (*relation.Relation, error) {
 			cust, ord, li := q3Relations(db)
@@ -197,7 +207,7 @@ func Q10() Spec {
 		Name:        "Q10",
 		Figure:      3,
 		Description: "revenue by customer over customer ⋈ orders ⋈ lineitem (nation public)",
-		Secure: func(p *mpc.Party, db *tpch.DB) (*relation.Relation, error) {
+		SecureOpts: func(p *mpc.Party, db *tpch.DB, opts core.ExecOptions) (*relation.Relation, error) {
 			cust, ord, li := q10Relations(db)
 			q := &core.Query{
 				Inputs: []core.Input{
@@ -207,7 +217,8 @@ func Q10() Spec {
 				},
 				Output: q10Output,
 			}
-			return core.Run(p, q)
+			rel, _, err := core.RunContextOpts(context.Background(), p, q, opts)
+			return rel, err
 		},
 		Plain: func(db *tpch.DB, bits int) (*relation.Relation, error) {
 			cust, ord, li := q10Relations(db)
@@ -272,7 +283,7 @@ func q18WithThreshold(threshold uint64) Spec {
 		Name:        "Q18",
 		Figure:      4,
 		Description: "large orders: customer ⋈ orders ⋈ lineitem ⋈ (having sum(qty) > threshold)",
-		Secure: func(p *mpc.Party, db *tpch.DB) (*relation.Relation, error) {
+		SecureOpts: func(p *mpc.Party, db *tpch.DB, opts core.ExecOptions) (*relation.Relation, error) {
 			cust, ord, li, sub := q18Relations(db, threshold)
 			q := &core.Query{
 				Inputs: []core.Input{
@@ -283,7 +294,8 @@ func q18WithThreshold(threshold uint64) Spec {
 				},
 				Output: q18Output,
 			}
-			return core.Run(p, q)
+			rel, _, err := core.RunContextOpts(context.Background(), p, q, opts)
+			return rel, err
 		},
 		Plain: func(db *tpch.DB, bits int) (*relation.Relation, error) {
 			cust, ord, li, sub := q18Relations(db, threshold)
@@ -356,7 +368,7 @@ func Q8() Spec {
 		Name:        "Q8",
 		Figure:      5,
 		Description: "market share by year: ratio of two sums over a 5-relation join",
-		Secure: func(p *mpc.Party, db *tpch.DB) (*relation.Relation, error) {
+		SecureOpts: func(p *mpc.Party, db *tpch.DB, opts core.ExecOptions) (*relation.Relation, error) {
 			part, supNum, supDen, li, ord, cust := q8Relations(db)
 			build := func(sup *relation.Relation) *core.Query {
 				return &core.Query{
@@ -370,11 +382,11 @@ func Q8() Spec {
 					Output: q8Output,
 				}
 			}
-			num, err := core.RunShared(p, build(supNum))
+			num, _, err := core.RunSharedContextOpts(context.Background(), p, build(supNum), opts)
 			if err != nil {
 				return nil, fmt.Errorf("q8 numerator: %w", err)
 			}
-			den, err := core.RunShared(p, build(supDen))
+			den, _, err := core.RunSharedContextOpts(context.Background(), p, build(supDen), opts)
 			if err != nil {
 				return nil, fmt.Errorf("q8 denominator: %w", err)
 			}
@@ -426,10 +438,10 @@ func Q9(numNations int) Spec {
 		Name:        "Q9",
 		Figure:      6,
 		Description: "profit by nation and year: 25 × 2 decomposed join-aggregate queries",
-		Secure: func(p *mpc.Party, db *tpch.DB) (*relation.Relation, error) {
+		SecureOpts: func(p *mpc.Party, db *tpch.DB, opts core.ExecOptions) (*relation.Relation, error) {
 			out := relation.New(relation.MustSchema("s_nationkey", "o_year"))
 			for nation := 0; nation < numNations; nation++ {
-				rel, err := q9Nation(p, db, uint64(nation))
+				rel, err := q9Nation(p, db, uint64(nation), opts)
 				if err != nil {
 					return nil, fmt.Errorf("q9 nation %d: %w", nation, err)
 				}
@@ -521,7 +533,7 @@ func q9Relations(db *tpch.DB, nation uint64) (part, sup, liV, liQ, psOne, psCost
 
 // q9Nation runs the two shared queries for one nation and reveals the
 // difference.
-func q9Nation(p *mpc.Party, db *tpch.DB, nation uint64) (*relation.Relation, error) {
+func q9Nation(p *mpc.Party, db *tpch.DB, nation uint64, opts core.ExecOptions) (*relation.Relation, error) {
 	part, sup, liV, liQ, psOne, psCost, ord := q9Relations(db, nation)
 	build := func(li, ps *relation.Relation) *core.Query {
 		return &core.Query{
@@ -535,11 +547,11 @@ func q9Nation(p *mpc.Party, db *tpch.DB, nation uint64) (*relation.Relation, err
 			Output: q9Output,
 		}
 	}
-	rev, err := core.RunShared(p, build(liV, psOne))
+	rev, _, err := core.RunSharedContextOpts(context.Background(), p, build(liV, psOne), opts)
 	if err != nil {
 		return nil, fmt.Errorf("revenue: %w", err)
 	}
-	cost, err := core.RunShared(p, build(liQ, psCost))
+	cost, _, err := core.RunSharedContextOpts(context.Background(), p, build(liQ, psCost), opts)
 	if err != nil {
 		return nil, fmt.Errorf("cost: %w", err)
 	}

@@ -84,6 +84,9 @@ type (
 	// Trace is the per-step record of a protocol run (or of an offline
 	// Precompute pass).
 	Trace = core.Trace
+	// BackendID names a secure-join backend; see WithBackend and the
+	// Backend* constants.
+	BackendID = core.BackendID
 )
 
 // Party roles.
@@ -93,6 +96,26 @@ const (
 	// Bob is the other party.
 	Bob = mpc.Bob
 )
+
+// Secure-join backends selectable with WithBackend. The zero BackendID
+// keeps per-step cost-based selection.
+const (
+	// BackendPSIOEP is the paper's protocol stack: PSI payload sharing
+	// composed with oblivious extended permutations.
+	BackendPSIOEP = core.BackendPSIOEP
+	// BackendBifrost aligns through a cuckoo-hashed slot table; it
+	// applies when the child side of a semijoin is a plaintext relation
+	// with unique join keys.
+	BackendBifrost = core.BackendBifrost
+	// BackendGC runs the step as one monolithic garbled circuit — the
+	// baseline the paper compares against, practical at small sizes.
+	BackendGC = core.BackendGC
+)
+
+// ParseBackend maps a command-line backend name to a BackendID. It
+// accepts "auto" (or the empty string) for cost-based selection and the
+// Backend* constant names.
+func ParseBackend(s string) (BackendID, error) { return core.ParseBackend(s) }
 
 // DefaultRing is the 32-bit annotation ring used in the paper's
 // experiments (ℓ = 32, §8.2).
@@ -245,9 +268,11 @@ type Plan = core.Plan
 // query from public parameters only (both parties compute identical
 // plans — a restatement of obliviousness). Options: WithRing selects
 // the annotation ring (default DefaultRing), WithEstOut the assumed
-// output size for the join-phase steps of multi-survivor queries, and
-// WithChunkSize the streaming chunk size recorded in the plan.
+// output size for the join-phase steps of multi-survivor queries,
+// WithChunkSize the streaming chunk size recorded in the plan, and
+// WithBackend a forced secure-join backend.
 func Explain(q *Query, opts ...Option) (*Plan, error) {
 	cfg := buildConfig(opts)
-	return core.ExplainChunked(q, cfg.ring.Bits, cfg.estOut, cfg.chunk)
+	return core.ExplainOpts(q, cfg.ring.Bits,
+		core.PlanOptions{EstOut: cfg.estOut, ChunkSize: cfg.chunk, Backend: cfg.backend})
 }

@@ -57,6 +57,7 @@ type config struct {
 	queueCap       int
 	estOut         int
 	chunk          int
+	backend        core.BackendID
 	wrapStream     func(id uint32, c Conn) Conn
 }
 
@@ -109,6 +110,14 @@ func WithEstOut(n int) Option { return func(c *config) { c.estOut = n } }
 // for every n, results and per-stream traffic are byte-identical (see
 // DESIGN.md §12).
 func WithChunkSize(n int) Option { return func(c *config) { c.chunk = n } }
+
+// WithBackend forces every semijoin/aggregate step of this session's
+// plans onto one secure-join backend wherever it is applicable
+// (BackendPSIOEP, BackendBifrost, BackendGC); steps where it does not
+// apply keep the cost-based choice. The zero value selects the cheapest
+// applicable backend per step. Both parties must configure the same
+// backend — unlike chunking, this changes the transcript.
+func WithBackend(b BackendID) Option { return func(c *config) { c.backend = b } }
 
 // WithStreamWrapper interposes f on every logical stream the session
 // opens — the hook behind fault injection (see transport.InjectFaults)
@@ -242,7 +251,7 @@ func (s *Session) RunTrace(ctx context.Context, q *Query) (*Relation, *Trace, er
 		return nil, nil, err
 	}
 	defer p.Conn.Close()
-	rel, tr, err := core.RunContextOpts(ctx, p, q, core.ExecOptions{ChunkSize: s.cfg.chunk})
+	rel, tr, err := core.RunContextOpts(ctx, p, q, core.ExecOptions{ChunkSize: s.cfg.chunk, Backend: s.cfg.backend})
 	if err != nil {
 		return nil, tr, s.labeled(id, err)
 	}
@@ -259,7 +268,7 @@ func (s *Session) RunShared(ctx context.Context, q *Query) (*SharedResult, error
 		return nil, err
 	}
 	defer p.Conn.Close()
-	res, _, err := core.RunSharedContextOpts(ctx, p, q, core.ExecOptions{ChunkSize: s.cfg.chunk})
+	res, _, err := core.RunSharedContextOpts(ctx, p, q, core.ExecOptions{ChunkSize: s.cfg.chunk, Backend: s.cfg.backend})
 	if err != nil {
 		return nil, s.labeled(id, err)
 	}
@@ -279,7 +288,7 @@ func (s *Session) Precompute(ctx context.Context, q *Query) (*Trace, error) {
 	if s.cfg.tracer != nil {
 		p.Track = s.cfg.tracer.Track(fmt.Sprintf("%s/stream-%d", s.role, id))
 	}
-	tr, err := core.Precompute(ctx, p, q)
+	tr, err := core.PrecomputeOpts(ctx, p, q, core.PlanOptions{Backend: s.cfg.backend})
 	if err != nil {
 		p.Conn.Close()
 		return tr, s.labeled(id, err)
@@ -309,13 +318,15 @@ func (s *Session) RevealRatio(ctx context.Context, num, den *SharedResult, scale
 }
 
 // Explain derives the execution plan and communication estimate for q
-// under this session's ring. Options: WithEstOut, WithChunkSize.
+// under this session's ring. Options: WithEstOut, WithChunkSize,
+// WithBackend.
 func (s *Session) Explain(q *Query, opts ...Option) (*Plan, error) {
 	cfg := s.cfg
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return core.ExplainChunked(q, cfg.ring.OrDefault().Bits, cfg.estOut, cfg.chunk)
+	return core.ExplainOpts(q, cfg.ring.OrDefault().Bits,
+		core.PlanOptions{EstOut: cfg.estOut, ChunkSize: cfg.chunk, Backend: cfg.backend})
 }
 
 // Stats snapshots the session's rolled-up traffic.
