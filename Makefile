@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all test short race race-sessions race-chunks race-backends bench bench-json vet fuzz
+.PHONY: all test short race race-sessions race-chunks race-backends race-obs bench bench-json vet fuzz
 
 all: vet test
 
@@ -45,6 +45,13 @@ race-backends:
 	$(GO) test -race -count=3 -timeout 30m -run 'Backend|PlanCosted' ./internal/core ./internal/jointree
 	$(GO) test -race -count=3 -timeout 30m ./internal/bifrost ./internal/gcbaseline
 
+# The observability suites under the race detector, repeated: labeled
+# metric vecs, the structured event log, the flight recorder, the live
+# step-status map, the debug server's graceful shutdown, and the
+# fully-observed transcript-neutrality tests (see DESIGN.md §14).
+race-obs:
+	$(GO) test -race -count=3 -timeout 30m -run 'Obs|Event|Flight|Label|Status|Prom|Shutdown' ./internal/obs ./internal/core .
+
 # Worker-count scaling benchmarks for the parallel kernels (IKNP
 # extension, garbling/evaluation, bit-matrix transpose) plus the
 # remaining micro-benchmarks. Paper-figure benchmarks live behind
@@ -58,10 +65,14 @@ bench:
 # offline_seconds/online_seconds/offline_bytes. BENCH_pr7.json adds the
 # chosen-vs-forced backend deltas on Q3/Q10/Q18 (-backends): one
 # measured secure point per backend, the "backend" field naming the
-# forced variant (absent = cost-based selection).
+# forced variant (absent = cost-based selection). BENCH_pr8.json attaches
+# each measured secure point's flight-recorder records ("flight"): the
+# per-query plan digest, per-phase bytes/rounds/time, and auction
+# outcomes behind the headline numbers.
 bench-json:
 	$(GO) run ./cmd/secyan-bench -precompute -scales 0.02,0.06,0.12 -securecap 0.12 -json BENCH_pr4.json
 	$(GO) run ./cmd/secyan-bench -fig 0 -backends -scales 0.02,0.06 -securecap 0.06 -json BENCH_pr7.json
+	$(GO) run ./cmd/secyan-bench -fig 2 -scales 0.02,0.06 -securecap 0.06 -json BENCH_pr8.json
 
 vet:
 	$(GO) vet ./...

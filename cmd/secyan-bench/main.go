@@ -48,10 +48,18 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof and /debug/step on this address while benchmarking (enables metrics collection)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the measured secure runs to this file")
 	sessions := flag.Int("sessions", 0, "instead of the figures, measure session-layer throughput: run this many copies of the query serially vs concurrently multiplexed over one TCP connection (uses the first -scales entry; -fig selects the query, default Q3)")
+	logJSON := flag.Bool("log-json", false, "emit the structured observability event log (query lifecycle, backend auctions, precompute hits) as JSON lines on stderr")
+	flightN := flag.Int("flight", 0, "flight-recorder capacity for the measured secure runs (0 = default 128); records are attached to -json points either way")
 	flag.Parse()
 
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
+	}
+	if *logJSON {
+		obs.Events().SetJSONSink(os.Stderr)
+	}
+	if *flightN > 0 {
+		obs.Flight().SetCapacity(*flightN)
 	}
 	if *debugAddr != "" {
 		addr, _, err := obs.ServeDebug(*debugAddr)
@@ -84,6 +92,9 @@ func main() {
 		Precompute:  *precompute,
 		ChunkSize:   *chunk,
 		Backend:     backend,
+		// JSON output gains the per-query flight records: per-phase,
+		// per-backend attribution for every measured secure point.
+		Flight: *jsonOut != "",
 	}
 	if *traceOut != "" {
 		opt.Tracer = obs.NewTracer()

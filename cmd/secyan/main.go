@@ -51,6 +51,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or ui.perfetto.dev)")
 	chunk := flag.Int("chunk", 0, "executor chunk size in tuples: bounds per-operator memory without changing a byte on the wire (0 = default 4096, negative = fully materialized); parties may even choose different sizes, transcripts are identical")
 	backendName := flag.String("backend", "auto", "secure-join backend for every applicable semijoin/aggregate step: auto (cost-based per step), psi-oep, bifrost or gc; unlike -chunk this changes the transcript, so both parties must agree")
+	logJSON := flag.Bool("log-json", false, "emit the structured observability event log (session/query lifecycle, backend auctions, precompute hits, transport faults) as JSON lines on stderr")
+	flightN := flag.Int("flight", 0, "retain the last N completed-query flight records, print them as a table after the run, and serve them at /debug/queries with -debug-addr (0 = off)")
 	flag.Parse()
 
 	backend, err := core.ParseBackend(*backendName)
@@ -91,6 +93,13 @@ func main() {
 		return
 	}
 
+	if *logJSON {
+		obs.Events().SetJSONSink(os.Stderr)
+	}
+	if *flightN > 0 {
+		obs.Flight().SetCapacity(*flightN)
+		obs.Enable()
+	}
 	if *debugAddr != "" {
 		addr, _, err := obs.ServeDebug(*debugAddr)
 		if err != nil {
@@ -117,6 +126,10 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("chrome trace written to %s\n", *traceOut)
+	}
+	if *flightN > 0 {
+		fmt.Println()
+		obs.WriteFlightTable(os.Stdout, obs.Flight().Records())
 	}
 	if *debugAddr != "" && *debugLinger > 0 {
 		fmt.Printf("debug server lingering for %s...\n", *debugLinger)

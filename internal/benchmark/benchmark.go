@@ -80,6 +80,11 @@ type Point struct {
 	// empty for cost-based per-step selection (the default), else the
 	// forced core.BackendID. RunBackendComparison fills it.
 	Backend string `json:"backend,omitempty"`
+	// Flight holds both parties' flight-recorder records of the
+	// measured secure run (newest first: Bob then Alice, or the
+	// composed sub-runs of Q8/Q9) when Options.Flight is set — the
+	// per-query, per-phase, per-backend attribution of the point.
+	Flight []obs.QueryRecord `json:"flight,omitempty"`
 }
 
 // PhaseCost aggregates the per-step trace of a secure run over one
@@ -140,6 +145,10 @@ type Options struct {
 	// keeps cost-based per-step selection. Unlike ChunkSize this changes
 	// the transcript (and so Bytes).
 	Backend core.BackendID
+	// Flight enables observability during the measured secure runs and
+	// attaches the flight-recorder records of each run to its Point
+	// (secyan-bench turns it on whenever -json output is requested).
+	Flight bool
 }
 
 // DefaultOptions mirror the paper's setup at laptop-friendly scales.
@@ -296,6 +305,17 @@ func runSecure(spec queries.Spec, db *tpch.DB, scale float64, opt Options) (Poin
 		alice.Track = opt.Tracer.Track(prefix + "Alice")
 		bob.Track = opt.Tracer.Track(prefix + "Bob")
 	}
+	if opt.Flight {
+		// Record this run in the flight recorder; the records become
+		// part of the point. Enabling observation never changes the
+		// transcript (the equivalence suites pin this), so flight-on
+		// and flight-off points are byte-identical in Bytes.
+		if !obs.Enabled() {
+			obs.Enable()
+			defer obs.Disable()
+		}
+		obs.Flight().Reset()
+	}
 	var phases []PhaseCost
 	alice.Observer = func(s mpc.StepTrace) {
 		if n := len(phases); n == 0 || phases[n-1].Phase != s.Phase {
@@ -354,6 +374,9 @@ func runSecure(spec queries.Spec, db *tpch.DB, scale float64, opt Options) (Poin
 		pt.OfflineSeconds = offSeconds
 		pt.OnlineSeconds = pt.Seconds - offSeconds
 		pt.OfflineBytes = float64(offBytes)
+	}
+	if opt.Flight {
+		pt.Flight = obs.Flight().Records()
 	}
 	runtime.ReadMemStats(&msAfter)
 	pt.memDelta(&msBefore, &msAfter)

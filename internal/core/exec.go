@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"secyan/internal/gc"
@@ -26,6 +27,17 @@ var (
 		BackendGC:      obs.NewCounter("secyan_core_backend_gc_steps_total", "Plan steps served by the gc backend."),
 		BackendLocal:   obs.NewCounter("secyan_core_backend_local_steps_total", "Plan steps with no protocol choice (local/degenerate)."),
 	}
+	// Query-scoped labeled metrics (bounded cardinality, see
+	// DESIGN.md §14): per-phase/backend step attribution and per-shape
+	// latency SLO histograms keyed by "root:digest".
+	mStepsByLabel = obs.NewCounterVec("secyan_core_steps_by_label_total",
+		"Plan steps executed, by protocol phase and serving backend.", "phase", "backend")
+	mStepBytesByLabel = obs.NewCounterVec("secyan_core_step_bytes_by_label_total",
+		"Measured per-step communication in bytes (both directions), by protocol phase and serving backend.", "phase", "backend")
+	mQueryLatency = obs.NewHistogramVec("secyan_core_query_latency_ns",
+		"Wall time of completed plan executions in nanoseconds, by query shape (root:digest).", "query")
+	mQueryRuns = obs.NewCounterVec("secyan_core_query_runs_by_shape_total",
+		"Completed plan executions, by query shape (root:digest) and outcome (ok | error).", "query", "outcome")
 )
 
 // This file is the plan executor: Run and RunShared compile the query
@@ -61,6 +73,12 @@ type ExecOptions struct {
 	// ChunkSize this changes the transcript: both parties must pass the
 	// same value.
 	Backend BackendID
+	// Tag carries the session/query IDs minted by the session layer, so
+	// events, labeled metrics and flight records attribute to the right
+	// query. Zero falls back to Party.Tag, and a fresh query ID is
+	// minted if observation is active with neither set. Tags are
+	// process-local bookkeeping only — never on the wire.
+	Tag obs.QueryTag
 }
 
 // RunContext is Run with cancellation and per-step observability: it
@@ -98,7 +116,7 @@ func RunSharedContextOpts(ctx context.Context, p *mpc.Party, q *Query, opts Exec
 // runPlan compiles q and executes the plan step by step. When shared is
 // true the final reveal steps are skipped and the shared result
 // returned; otherwise the result relation is revealed to Alice.
-func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool, opts ExecOptions) (*SharedResult, *relation.Relation, *Trace, error) {
+func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool, opts ExecOptions) (res *SharedResult, rel *relation.Relation, tr *Trace, err error) {
 	if err := q.Validate(p.Role); err != nil {
 		return nil, nil, nil, err
 	}
@@ -147,13 +165,88 @@ func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool, opts Exec
 		defer obs.ClearCurrentStep(p.Role.String())
 	}
 
-	tr := &Trace{}
+	// Query-scoped observability: resolve the tag (explicit option wins
+	// over the party's session tag), minting a query ID for untagged
+	// runs so every record is addressable. Like span tracing, all of it
+	// reads clocks and process-local memory only — never the connection.
+	tag := opts.Tag
+	if tag == (obs.QueryTag{}) {
+		tag = p.Tag
+	}
+	lg := obs.Events()
+	eventsOn := lg.On()
+	var shape string
+	var blame string
+	runStart := time.Now()
+	if live || eventsOn {
+		if tag.QID == 0 {
+			tag.QID = obs.NextQueryID()
+		}
+		shape = plan.Root + ":" + plan.DigestString()[:8]
+	}
+	if eventsOn {
+		lg.Emit("query.start", tag,
+			slog.String("party", p.Role.String()),
+			slog.String("root", plan.Root),
+			slog.Int("steps", len(plan.Steps)),
+			slog.String("plan_digest", plan.DigestString()),
+			slog.Bool("shared", shared))
+		for si := range plan.Steps {
+			st := &plan.Steps[si]
+			if len(st.Alternatives) < 2 {
+				continue
+			}
+			attrs := make([]slog.Attr, 0, 2+len(st.Alternatives))
+			attrs = append(attrs,
+				slog.String("step", st.Op+"["+st.Node+"]"),
+				slog.String("chosen", string(st.Backend)))
+			for _, alt := range st.Alternatives {
+				attrs = append(attrs, slog.Int64("bid_"+string(alt.Backend), alt.EstBytes))
+			}
+			lg.Emit("backend.auction", tag, attrs...)
+		}
+	}
+	defer func() {
+		if !live && !eventsOn {
+			return
+		}
+		elapsed := time.Since(runStart)
+		rows := 0
+		if rel != nil {
+			rows = rel.Len()
+		}
+		if live {
+			mQueryLatency.Observe(int64(elapsed), shape)
+			outcome := "ok"
+			if err != nil {
+				outcome = "error"
+			}
+			mQueryRuns.Add(1, shape, outcome)
+			obs.Flight().Record(flightRecord(p, plan, tag, tr, rows, runStart, elapsed, err, blame))
+		}
+		if eventsOn {
+			attrs := make([]slog.Attr, 0, 6)
+			attrs = append(attrs,
+				slog.String("party", p.Role.String()),
+				slog.Int64("bytes", tr.TotalBytes()),
+				slog.Int64("rounds", tr.TotalRounds()),
+				slog.Duration("elapsed", elapsed),
+				slog.Int("rows", rows))
+			if err != nil {
+				attrs = append(attrs, slog.String("error", err.Error()))
+			}
+			lg.Emit("query.finish", tag, attrs...)
+		}
+	}()
+
+	tr = &Trace{}
 	for si := range plan.Steps {
 		st := &plan.Steps[si]
 		if shared && st.final {
 			continue
 		}
 		if cerr := ctx.Err(); cerr != nil {
+			blame = st.Phase + "/" + st.Op + "[" + st.Node + "]"
 			return nil, nil, tr, stepErr(st, cerr)
 		}
 		mPlanSteps.Inc()
@@ -191,12 +284,32 @@ func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool, opts Exec
 		if pp.Observer != nil {
 			pp.Observer(rec)
 		}
+		if live {
+			backendLbl := string(st.Backend)
+			if backendLbl == "" {
+				backendLbl = "none"
+			}
+			mStepsByLabel.Add(1, st.Phase, backendLbl)
+			mStepBytesByLabel.Add(rec.Bytes, st.Phase, backendLbl)
+		}
+		if eventsOn {
+			lg.Emit("query.step", tag,
+				slog.String("party", p.Role.String()),
+				slog.String("phase", st.Phase),
+				slog.String("op", st.Op),
+				slog.String("node", st.Node),
+				slog.String("backend", string(st.Backend)),
+				slog.Int64("bytes", rec.Bytes),
+				slog.Int64("rounds", rec.Rounds),
+				slog.Duration("elapsed", rec.Elapsed))
+		}
 		if err != nil {
 			// After cancellation the transport reports artifacts of the
 			// teardown; attribute them to the context instead.
 			if cerr := ctx.Err(); cerr != nil {
 				err = cerr
 			}
+			blame = st.Phase + "/" + st.Op + "[" + st.Node + "]"
 			return nil, nil, tr, stepErr(st, err)
 		}
 	}
@@ -210,11 +323,63 @@ func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool, opts Exec
 	if p.Role != mpc.Alice {
 		return nil, nil, tr, nil
 	}
-	rel, err := normalizeResult(ex.result, q.Output)
+	out, err := normalizeResult(ex.result, q.Output)
 	if err != nil {
 		return nil, nil, tr, err
 	}
-	return nil, rel, tr, nil
+	return nil, out, tr, nil
+}
+
+// flightRecord assembles the flight recorder's completed-query record
+// from the measured trace and the compiled plan.
+func flightRecord(p *mpc.Party, plan *Plan, tag obs.QueryTag, tr *Trace, rows int,
+	start time.Time, elapsed time.Duration, err error, blame string) obs.QueryRecord {
+	rec := obs.QueryRecord{
+		QID:           tag.QID,
+		SID:           tag.SID,
+		Party:         p.Role.String(),
+		Peer:          p.Role.Other().String(),
+		Query:         plan.Root,
+		PlanDigest:    plan.DigestString(),
+		Steps:         len(plan.Steps),
+		ChunkSize:     plan.ChunkSize,
+		StartUnixNano: start.UnixNano(),
+		Seconds:       elapsed.Seconds(),
+		OutputRows:    rows,
+		Auctions:      planAuctions(plan),
+	}
+	if tr != nil {
+		rec.Bytes = tr.TotalBytes()
+		rec.Rounds = tr.TotalRounds()
+		rec.Phases = tr.PhaseStats()
+	}
+	if err != nil {
+		rec.Error = err.Error()
+		rec.Blame = blame
+	}
+	return rec
+}
+
+// planAuctions extracts the contested backend auctions (steps where
+// more than one backend bid) with their full pricing tables.
+func planAuctions(plan *Plan) []obs.AuctionOutcome {
+	var out []obs.AuctionOutcome
+	for i := range plan.Steps {
+		st := &plan.Steps[i]
+		if len(st.Alternatives) < 2 {
+			continue
+		}
+		bids := make(map[string]int64, len(st.Alternatives))
+		for _, alt := range st.Alternatives {
+			bids[string(alt.Backend)] = alt.EstBytes
+		}
+		out = append(out, obs.AuctionOutcome{
+			Step:   st.Op + "[" + st.Node + "]",
+			Chosen: string(st.Backend),
+			Bids:   bids,
+		})
+	}
+	return out
 }
 
 // stepErr labels an operator error with its plan coordinates, e.g.

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"sort"
 	"strings"
 
@@ -141,6 +143,32 @@ type Plan struct {
 	joinOrder  []int // sorted surviving nodes of the final join (nil when single)
 	singleNode int   // surviving node of the single-survivor shortcut, -1 otherwise
 }
+
+// Digest is a stable 64-bit fingerprint of the plan's operator
+// structure: root plus the step sequence's phases, operators, node
+// labels and chosen backends — but not input sizes — so runs of the
+// same query shape share a digest across dataset scales. Both parties
+// compile identical plans, so both compute the same digest; the flight
+// recorder and the per-shape SLO histograms key on it.
+func (p *Plan) Digest() uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, p.Root)
+	for i := range p.Steps {
+		s := &p.Steps[i]
+		io.WriteString(h, "|")
+		io.WriteString(h, s.Phase)
+		io.WriteString(h, "/")
+		io.WriteString(h, s.Op)
+		io.WriteString(h, "[")
+		io.WriteString(h, s.Node)
+		io.WriteString(h, "]")
+		io.WriteString(h, string(s.Backend))
+	}
+	return h.Sum64()
+}
+
+// DigestString renders Digest as 16 hex digits.
+func (p *Plan) DigestString() string { return fmt.Sprintf("%016x", p.Digest()) }
 
 // PlanOptions parameterize compilation.
 type PlanOptions struct {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"secyan/internal/mpc"
+	"secyan/internal/obs"
 )
 
 // TraceStep is one executed plan step's record; it aliases mpc.StepTrace
@@ -29,6 +30,35 @@ func (t *Trace) TotalBytes() int64 {
 		total += t.Steps[i].Bytes
 	}
 	return total
+}
+
+// TotalRounds sums the measured communication rounds over all steps.
+func (t *Trace) TotalRounds() int64 {
+	var total int64
+	for i := range t.Steps {
+		total += t.Steps[i].Rounds
+	}
+	return total
+}
+
+// PhaseStats folds the per-step trace into per-phase totals, in first-
+// appearance order — the flight recorder's per-phase attribution.
+func (t *Trace) PhaseStats() []obs.PhaseStat {
+	var out []obs.PhaseStat
+	idx := map[string]int{}
+	for i := range t.Steps {
+		s := &t.Steps[i]
+		j, ok := idx[s.Phase]
+		if !ok {
+			j = len(out)
+			idx[s.Phase] = j
+			out = append(out, obs.PhaseStat{Phase: s.Phase})
+		}
+		out[j].Bytes += s.Bytes
+		out[j].Rounds += s.Rounds
+		out[j].Seconds += s.Elapsed.Seconds()
+	}
+	return out
 }
 
 // Format renders the trace as an EXPLAIN ANALYZE-style table: the plan

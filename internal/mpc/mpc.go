@@ -13,6 +13,7 @@ package mpc
 import (
 	"context"
 	"fmt"
+	"log/slog"
 
 	"secyan/internal/gc"
 	"secyan/internal/obs"
@@ -60,6 +61,13 @@ type Party struct {
 	// ot, psi) nest beneath the executing plan step. Tracing never
 	// touches the connection, so it cannot perturb transcripts.
 	Track *obs.Track
+
+	// Tag is the query-scoped observability tag (session/query IDs)
+	// events and flight records emitted on this party's behalf carry.
+	// The session layer stamps the session ID at party construction and
+	// the query ID at admission; it is process-local bookkeeping only
+	// and never crosses the wire.
+	Tag obs.QueryTag
 
 	// sess holds state that outlives any context-scoped view of this
 	// party: derived parties made by WithContext share it, so OT
@@ -154,6 +162,23 @@ var (
 	mPreCircMisses = obs.NewCounter("secyan_mpc_precircuit_miss_total", "Circuits run on the direct path (queue empty or shape mismatch).")
 )
 
+// noteCircuit bumps the hit/miss counter and mirrors the outcome into
+// the structured event log under this party's query tag.
+func (p *Party) noteCircuit(hit bool, side string) {
+	if hit {
+		mPreCircHits.Inc()
+	} else {
+		mPreCircMisses.Inc()
+	}
+	if lg := obs.Events(); lg.On() {
+		kind := "precompute.miss"
+		if hit {
+			kind = "precompute.hit"
+		}
+		lg.Emit(kind, p.Tag, slog.String("what", "circuit"), slog.String("side", side))
+	}
+}
+
 // EnqueuePreGarbled appends ahead-of-time garbled material for a circuit
 // this party will garble. Queued entries must arrive in the order the
 // protocol will run the circuits.
@@ -206,12 +231,12 @@ func (p *Party) RunCircuit(c *gc.Circuit, myInputs, myPriv []bool, garbler Role)
 			pg := st.preGarb[0]
 			if gc.SameShape(pg.C, c) {
 				st.preGarb = st.preGarb[1:]
-				mPreCircHits.Inc()
+				p.noteCircuit(true, "garble")
 				return pg.RunOnline(p.Conn, snd, myInputs, myPriv)
 			}
 			st.preGarb = nil
 		}
-		mPreCircMisses.Inc()
+		p.noteCircuit(false, "garble")
 		return gc.RunGarbler(p.Conn, snd, c, myInputs, myPriv)
 	}
 	rcv, err := p.OTReceiver()
@@ -222,12 +247,12 @@ func (p *Party) RunCircuit(c *gc.Circuit, myInputs, myPriv []bool, garbler Role)
 		pe := st.preEval[0]
 		if gc.SameShape(pe.C, c) {
 			st.preEval = st.preEval[1:]
-			mPreCircHits.Inc()
+			p.noteCircuit(true, "eval")
 			return gc.RunEvaluator(p.Conn, rcv, pe.C, myInputs)
 		}
 		st.preEval = nil
 	}
-	mPreCircMisses.Inc()
+	p.noteCircuit(false, "eval")
 	return gc.RunEvaluator(p.Conn, rcv, c, myInputs)
 }
 

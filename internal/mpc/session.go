@@ -34,6 +34,12 @@ type SessionConfig struct {
 	// Party is built around it — the hook the fault-injection
 	// robustness suite uses to perturb exactly one of N runs.
 	WrapStream func(id uint32, c transport.Conn) transport.Conn
+	// SID is the observability session ID every Party built from this
+	// session carries in its Tag and the mux stamps on its fault
+	// events. Minted by the root session layer (obs.NextSessionID); 0
+	// leaves events unattributed. Process-local only, never on the
+	// wire.
+	SID uint64
 }
 
 // Session runs many logical protocol executions over one Conn.
@@ -57,6 +63,7 @@ func NewSession(role Role, conn transport.Conn, ring share.Ring, cfg SessionConf
 			Heartbeat:   cfg.Heartbeat,
 			PeerTimeout: cfg.PeerTimeout,
 			Deadline:    cfg.Deadline,
+			SID:         cfg.SID,
 		}),
 		cfg: cfg,
 	}
@@ -98,7 +105,9 @@ func (s *Session) PartyOn(id uint32, opts PartyOpts) (*Party, error) {
 	if s.cfg.WrapStream != nil {
 		c = s.cfg.WrapStream(id, c)
 	}
-	return NewParty(s.role, c, s.ring), nil
+	p := NewParty(s.role, c, s.ring)
+	p.Tag.SID = s.cfg.SID
+	return p, nil
 }
 
 // NextParty opens the next sequentially-numbered stream. It pairs

@@ -1,39 +1,103 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
+	"time"
 )
 
+// ready is the process readiness bit served by /readyz. ServeDebug sets
+// it on start and clears it on shutdown; a daemon embedding
+// DebugHandler flips it around its own lifecycle with SetReady.
+var ready atomic.Bool
+
+// SetReady sets the /readyz state.
+func SetReady(b bool) { ready.Store(b) }
+
+// Ready reports the /readyz state.
+func Ready() bool { return ready.Load() }
+
+// shutdownGrace bounds how long shutdown waits for in-flight handlers
+// before force-closing their connections.
+const shutdownGrace = 5 * time.Second
+
 // ServeDebug starts the debug HTTP server on addr (host:port; port 0
-// picks a free one) and enables metric collection. It serves:
+// picks a free one), enables metric collection and marks the process
+// ready. It serves:
 //
-//	/metrics       Prometheus text exposition of the default registry
-//	/debug/vars    expvar JSON (includes the registry under "secyan")
-//	/debug/pprof/  the standard net/http/pprof profile endpoints
-//	/debug/step    live JSON snapshot of the currently executing plan
-//	               step of every party in this process
+//	/healthz        liveness: 200 "ok" while the server runs
+//	/readyz         readiness: 200 "ok" after SetReady(true), 503 before
+//	/metrics        Prometheus text exposition of the default registry
+//	/debug/vars     expvar JSON (includes the registry under "secyan")
+//	/debug/pprof/   the standard net/http/pprof profile endpoints
+//	/debug/step     live JSON snapshot of the currently executing plan
+//	                step of every party in this process
+//	/debug/queries  the flight recorder's completed-query records as
+//	                JSON (append ?format=table for the human table)
+//	/debug/events   the event log's retained events, newest first
 //
 // It returns the bound address (useful with port 0) and a function that
-// shuts the server down.
+// gracefully shuts the server down: in-flight handlers get a bounded
+// grace period, then their connections are closed, and the function
+// does not return until the serve goroutine has exited.
 func ServeDebug(addr string) (boundAddr string, shutdown func() error, err error) {
+	return serveDebug(addr, DebugHandler())
+}
+
+// serveDebug is ServeDebug with an injectable handler (shutdown tests
+// install deliberately slow handlers).
+func serveDebug(addr string, h http.Handler) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
 	Enable()
-	srv := &http.Server{Handler: DebugHandler()}
-	go srv.Serve(ln)
-	return ln.Addr().String(), srv.Close, nil
+	SetReady(true)
+	srv := &http.Server{Handler: h}
+	served := make(chan struct{})
+	go func() {
+		srv.Serve(ln)
+		close(served)
+	}()
+	shutdown := func() error {
+		SetReady(false)
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		if err != nil {
+			// Grace expired with handlers still running: force-close
+			// their connections so nothing lingers.
+			srv.Close()
+		}
+		<-served
+		return err
+	}
+	return ln.Addr().String(), shutdown, nil
 }
 
 // DebugHandler returns the debug server's route multiplexer, so tests
-// can drive the endpoints without a socket.
+// and daemons can drive the endpoints without a socket.
 func DebugHandler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "not ready\n")
+			return
+		}
+		io.WriteString(w, "ok\n")
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		Default().WritePrometheus(w)
@@ -49,6 +113,24 @@ func DebugHandler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(CurrentSteps())
+	})
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		recs := Flight().Records()
+		if r.URL.Query().Get("format") == "table" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			WriteFlightTable(w, recs)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(recs)
+	})
+	mux.HandleFunc("/debug/events", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(Events().Recent(0))
 	})
 	return mux
 }

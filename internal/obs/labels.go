@@ -1,0 +1,453 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labeled metrics: counters, gauges and histograms fanned out over a
+// small, fixed set of label keys (query shape, phase, backend, tenant).
+// The design goals mirror the unlabeled instruments (see DESIGN.md §14):
+//
+//   - Disabled means free. Add/Set/Observe on a disabled registry is one
+//     atomic load and a branch; the variadic label values never escape,
+//     so the call allocates nothing (asserted by TestLabelVecDisabledAllocs).
+//
+//   - Bounded cardinality. A vec holds at most MaxSeries distinct label
+//     combinations; once the cap is reached, observations with new
+//     combinations fold into a single series whose every label value is
+//     "overflow". Metrics stay O(1) memory no matter what a tenant puts
+//     in a query name.
+//
+//   - Spec-conformant exposition. Series render sorted by label values
+//     with escaped label strings; labeled histograms emit cumulative
+//     `_bucket{...,le="..."}` lines plus labeled `_sum`/`_count`.
+
+// DefaultMaxSeries is the per-vec cardinality cap applied unless
+// SetMaxSeries overrides it.
+const DefaultMaxSeries = 128
+
+// OverflowValue is the label value every key takes in the fold-in series
+// that absorbs observations beyond the cardinality cap.
+const OverflowValue = "overflow"
+
+// labelSep joins label values into a map key; U+001F never appears in
+// the label values this repository emits.
+const labelSep = "\x1f"
+
+// escapeLabel renders a label value for the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatLabels renders `k1="v1",k2="v2"` for a series.
+func formatLabels(keys, vals []string) string {
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// vecBase carries the bookkeeping shared by the three vec kinds. The
+// mutex only guards the series map; the per-series values are atomics,
+// so concurrent observations on existing series never contend beyond
+// the map lookup.
+type vecBase struct {
+	on         *atomic.Bool
+	name, help string
+	keys       []string
+	mu         sync.Mutex
+	max        int
+	nseries    int
+}
+
+func (v *vecBase) metricName() string { return v.name }
+func (v *vecBase) metricHelp() string { return v.help }
+
+// checkArity panics on a label-count mismatch — a programming error at
+// the instrumentation site, caught in tests, never in a data path.
+func (v *vecBase) checkArity(vals []string) {
+	if len(vals) != len(v.keys) {
+		panic(fmt.Sprintf("obs: metric %s takes %d label values, got %d", v.name, len(v.keys), len(vals)))
+	}
+}
+
+// overflowVals returns the all-"overflow" value list for the fold-in
+// series.
+func (v *vecBase) overflowVals() []string {
+	vals := make([]string, len(v.keys))
+	for i := range vals {
+		vals[i] = OverflowValue
+	}
+	return vals
+}
+
+// copyVals copies the caller's label values so the variadic slice does
+// not escape at the call site.
+func copyVals(vals []string) []string {
+	out := make([]string, len(vals))
+	copy(out, vals)
+	return out
+}
+
+// CounterVec is a family of monotonically increasing counters keyed by
+// label values.
+type CounterVec struct {
+	vecBase
+	series map[string]*labeledCounter
+}
+
+type labeledCounter struct {
+	vals []string
+	v    atomic.Int64
+}
+
+// NewCounterVec creates and registers a labeled counter family in the
+// default registry.
+func NewCounterVec(name, help string, keys ...string) *CounterVec {
+	return defaultRegistry.NewCounterVec(name, help, keys...)
+}
+
+// NewCounterVec creates and registers a labeled counter family in r.
+func (r *Registry) NewCounterVec(name, help string, keys ...string) *CounterVec {
+	v := &CounterVec{
+		vecBase: vecBase{on: r.on, name: name, help: help, keys: copyVals(keys), max: DefaultMaxSeries},
+		series:  map[string]*labeledCounter{},
+	}
+	r.register(v)
+	return v
+}
+
+// SetMaxSeries caps the number of distinct label combinations; beyond
+// it, new combinations fold into the overflow series.
+func (v *CounterVec) SetMaxSeries(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if n >= 1 {
+		v.max = n
+	}
+}
+
+func (v *CounterVec) child(vals []string) *labeledCounter {
+	v.checkArity(vals)
+	key := strings.Join(vals, labelSep)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c := v.series[key]
+	if c == nil {
+		use := vals
+		if v.nseries >= v.max {
+			use = v.overflowVals()
+			key = strings.Join(use, labelSep)
+			if c = v.series[key]; c != nil {
+				return c
+			}
+		}
+		c = &labeledCounter{vals: copyVals(use)}
+		v.series[key] = c
+		v.nseries++
+	}
+	return c
+}
+
+// Add increments the series for vals by n when collection is enabled.
+func (v *CounterVec) Add(n int64, vals ...string) {
+	if !v.on.Load() {
+		return
+	}
+	v.child(vals).v.Add(n)
+}
+
+// Inc adds 1 to the series for vals.
+func (v *CounterVec) Inc(vals ...string) { v.Add(1, vals...) }
+
+// Value returns the current count of the series for vals (0 if the
+// series does not exist). Test and diagnostic use.
+func (v *CounterVec) Value(vals ...string) int64 {
+	v.checkArity(vals)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c := v.series[strings.Join(vals, labelSep)]; c != nil {
+		return c.v.Load()
+	}
+	return 0
+}
+
+func (v *CounterVec) sorted() []*labeledCounter {
+	v.mu.Lock()
+	out := make([]*labeledCounter, 0, len(v.series))
+	for _, c := range v.series {
+		out = append(out, c)
+	}
+	v.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].vals, labelSep) < strings.Join(out[j].vals, labelSep)
+	})
+	return out
+}
+
+func (v *CounterVec) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE %s counter\n", v.name)
+	for _, c := range v.sorted() {
+		fmt.Fprintf(w, "%s{%s} %d\n", v.name, formatLabels(v.keys, c.vals), c.v.Load())
+	}
+}
+
+func (v *CounterVec) snapshotValue() any {
+	out := map[string]int64{}
+	for _, c := range v.sorted() {
+		out[formatLabels(v.keys, c.vals)] = c.v.Load()
+	}
+	return out
+}
+
+// GaugeVec is a family of settable values keyed by label values.
+type GaugeVec struct {
+	vecBase
+	series map[string]*labeledGauge
+}
+
+type labeledGauge struct {
+	vals []string
+	v    atomic.Int64
+}
+
+// NewGaugeVec creates and registers a labeled gauge family in the
+// default registry.
+func NewGaugeVec(name, help string, keys ...string) *GaugeVec {
+	return defaultRegistry.NewGaugeVec(name, help, keys...)
+}
+
+// NewGaugeVec creates and registers a labeled gauge family in r.
+func (r *Registry) NewGaugeVec(name, help string, keys ...string) *GaugeVec {
+	v := &GaugeVec{
+		vecBase: vecBase{on: r.on, name: name, help: help, keys: copyVals(keys), max: DefaultMaxSeries},
+		series:  map[string]*labeledGauge{},
+	}
+	r.register(v)
+	return v
+}
+
+// SetMaxSeries caps the number of distinct label combinations.
+func (v *GaugeVec) SetMaxSeries(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if n >= 1 {
+		v.max = n
+	}
+}
+
+func (v *GaugeVec) child(vals []string) *labeledGauge {
+	v.checkArity(vals)
+	key := strings.Join(vals, labelSep)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g := v.series[key]
+	if g == nil {
+		use := vals
+		if v.nseries >= v.max {
+			use = v.overflowVals()
+			key = strings.Join(use, labelSep)
+			if g = v.series[key]; g != nil {
+				return g
+			}
+		}
+		g = &labeledGauge{vals: copyVals(use)}
+		v.series[key] = g
+		v.nseries++
+	}
+	return g
+}
+
+// Set stores n in the series for vals when collection is enabled.
+func (v *GaugeVec) Set(n int64, vals ...string) {
+	if !v.on.Load() {
+		return
+	}
+	v.child(vals).v.Store(n)
+}
+
+// Add adjusts the series for vals by n when collection is enabled.
+func (v *GaugeVec) Add(n int64, vals ...string) {
+	if !v.on.Load() {
+		return
+	}
+	v.child(vals).v.Add(n)
+}
+
+// Value returns the current value of the series for vals (0 if absent).
+func (v *GaugeVec) Value(vals ...string) int64 {
+	v.checkArity(vals)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g := v.series[strings.Join(vals, labelSep)]; g != nil {
+		return g.v.Load()
+	}
+	return 0
+}
+
+func (v *GaugeVec) sorted() []*labeledGauge {
+	v.mu.Lock()
+	out := make([]*labeledGauge, 0, len(v.series))
+	for _, g := range v.series {
+		out = append(out, g)
+	}
+	v.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].vals, labelSep) < strings.Join(out[j].vals, labelSep)
+	})
+	return out
+}
+
+func (v *GaugeVec) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE %s gauge\n", v.name)
+	for _, g := range v.sorted() {
+		fmt.Fprintf(w, "%s{%s} %d\n", v.name, formatLabels(v.keys, g.vals), g.v.Load())
+	}
+}
+
+func (v *GaugeVec) snapshotValue() any {
+	out := map[string]int64{}
+	for _, g := range v.sorted() {
+		out[formatLabels(v.keys, g.vals)] = g.v.Load()
+	}
+	return out
+}
+
+// HistogramVec is a family of fixed log2-bucket histograms keyed by
+// label values (per-query-shape latency SLOs).
+type HistogramVec struct {
+	vecBase
+	series map[string]*labeledHist
+}
+
+type labeledHist struct {
+	vals       []string
+	count, sum atomic.Int64
+	buckets    [histBuckets]atomic.Int64
+}
+
+// NewHistogramVec creates and registers a labeled histogram family in
+// the default registry.
+func NewHistogramVec(name, help string, keys ...string) *HistogramVec {
+	return defaultRegistry.NewHistogramVec(name, help, keys...)
+}
+
+// NewHistogramVec creates and registers a labeled histogram family in r.
+func (r *Registry) NewHistogramVec(name, help string, keys ...string) *HistogramVec {
+	v := &HistogramVec{
+		vecBase: vecBase{on: r.on, name: name, help: help, keys: copyVals(keys), max: DefaultMaxSeries},
+		series:  map[string]*labeledHist{},
+	}
+	r.register(v)
+	return v
+}
+
+// SetMaxSeries caps the number of distinct label combinations.
+func (v *HistogramVec) SetMaxSeries(n int) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if n >= 1 {
+		v.max = n
+	}
+}
+
+func (v *HistogramVec) child(vals []string) *labeledHist {
+	v.checkArity(vals)
+	key := strings.Join(vals, labelSep)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h := v.series[key]
+	if h == nil {
+		use := vals
+		if v.nseries >= v.max {
+			use = v.overflowVals()
+			key = strings.Join(use, labelSep)
+			if h = v.series[key]; h != nil {
+				return h
+			}
+		}
+		h = &labeledHist{vals: copyVals(use)}
+		v.series[key] = h
+		v.nseries++
+	}
+	return h
+}
+
+// Observe records val in the series for vals when collection is enabled.
+func (v *HistogramVec) Observe(val int64, vals ...string) {
+	if !v.on.Load() {
+		return
+	}
+	h := v.child(vals)
+	h.count.Add(1)
+	h.sum.Add(val)
+	h.buckets[bucketOf(val)].Add(1)
+}
+
+// Count returns the observation count of the series for vals (0 if
+// absent).
+func (v *HistogramVec) Count(vals ...string) int64 {
+	v.checkArity(vals)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h := v.series[strings.Join(vals, labelSep)]; h != nil {
+		return h.count.Load()
+	}
+	return 0
+}
+
+func (v *HistogramVec) sorted() []*labeledHist {
+	v.mu.Lock()
+	out := make([]*labeledHist, 0, len(v.series))
+	for _, h := range v.series {
+		out = append(out, h)
+	}
+	v.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].vals, labelSep) < strings.Join(out[j].vals, labelSep)
+	})
+	return out
+}
+
+func (v *HistogramVec) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", v.name)
+	for _, h := range v.sorted() {
+		writeHistSeries(w, v.name, formatLabels(v.keys, h.vals), &h.buckets, h.sum.Load(), h.count.Load())
+	}
+}
+
+func (v *HistogramVec) snapshotValue() any {
+	out := map[string]map[string]int64{}
+	for _, h := range v.sorted() {
+		out[formatLabels(v.keys, h.vals)] = map[string]int64{"count": h.count.Load(), "sum": h.sum.Load()}
+	}
+	return out
+}

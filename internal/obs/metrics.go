@@ -234,24 +234,43 @@ func (h *Histogram) Sum() int64 { return h.sum.Load() }
 func (h *Histogram) metricName() string { return h.name }
 func (h *Histogram) metricHelp() string { return h.help }
 
-func (h *Histogram) writeProm(w io.Writer) {
-	fmt.Fprintf(w, "# TYPE %s histogram\n", h.name)
+// bucketBound renders the upper bound of bucket i as a Prometheus `le`
+// label value.
+func bucketBound(i int) string {
+	if i == histBuckets-1 {
+		return "+Inf"
+	}
+	return fmt.Sprintf("%d", int64(1)<<i)
+}
+
+// writeHistSeries renders one histogram series in spec-conformant
+// Prometheus text format: every bucket as a cumulative count with the
+// bound in an `le` label, followed by `_sum` and `_count`. labels is the
+// pre-rendered `k="v",...` pair list of the series (empty for the
+// unlabeled histogram); `le` is appended after it so label order stays
+// stable across scrapes.
+func writeHistSeries(w io.Writer, name, labels string, buckets *[histBuckets]atomic.Int64, sum, count int64) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
 	var cum int64
 	for i := 0; i < histBuckets; i++ {
-		n := h.buckets[i].Load()
-		if n == 0 && i != histBuckets-1 {
-			continue // elide empty buckets; cumulative counts stay correct
-		}
-		cum += n
-		if i == histBuckets-1 {
-			cum = h.Count() // the +Inf bucket absorbs any skipped tail
-			fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
-		} else {
-			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", h.name, int64(1)<<i, cum)
-		}
+		cum += buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{%s%sle=%q} %d\n", name, labels, sep, bucketBound(i), cum)
 	}
-	fmt.Fprintf(w, "%s_sum %d\n", h.name, h.Sum())
-	fmt.Fprintf(w, "%s_count %d\n", h.name, h.Count())
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %d\n", name, sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %d\n", name, labels, sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, count)
+	}
+}
+
+func (h *Histogram) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", h.name)
+	writeHistSeries(w, h.name, "", &h.buckets, h.Sum(), h.Count())
 }
 
 func (h *Histogram) snapshotValue() any {

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Flight recorder: a fixed-size ring of completed-query records. Where
+// the event log answers "what is happening", the recorder answers "what
+// did query 17 cost": one self-contained record per finished plan
+// execution — plan digest, chosen-vs-rejected backends, per-phase
+// bytes/rounds/wall time folded from the measured Trace, chunk size,
+// peer, and error/fault blame. Served at /debug/queries (JSON and a
+// human table) and attached to secyan-bench's -json points.
+//
+// The recorder itself does not gate on the obs switch — the executor
+// only assembles records when observation is active, so a disabled run
+// pays nothing.
+
+// PhaseStat aggregates a query's measured per-step trace over one
+// protocol phase.
+type PhaseStat struct {
+	Phase   string  `json:"phase"`
+	Bytes   int64   `json:"bytes"`
+	Rounds  int64   `json:"rounds"`
+	Seconds float64 `json:"seconds"`
+}
+
+// AuctionOutcome records one backend auction on a plan step: every bid
+// (estimated on-wire bytes by backend) and the winner actually run.
+type AuctionOutcome struct {
+	// Step is the plan step's "op[node]" label.
+	Step string `json:"step"`
+	// Chosen is the backend that won (or was forced).
+	Chosen string `json:"chosen"`
+	// Bids maps backend name to its estimated total bytes.
+	Bids map[string]int64 `json:"bids"`
+}
+
+// QueryRecord is one completed plan execution as retained by the flight
+// recorder.
+type QueryRecord struct {
+	QID        uint64 `json:"qid"`
+	SID        uint64 `json:"sid,omitempty"`
+	Party      string `json:"party"`
+	Peer       string `json:"peer"`
+	Query      string `json:"query"`
+	PlanDigest string `json:"plan_digest"`
+	Steps      int    `json:"steps"`
+	ChunkSize  int    `json:"chunk_size,omitempty"`
+
+	StartUnixNano int64   `json:"start_unix_nano"`
+	Seconds       float64 `json:"seconds"`
+	Bytes         int64   `json:"bytes"`
+	Rounds        int64   `json:"rounds"`
+	OutputRows    int     `json:"output_rows,omitempty"`
+
+	Phases   []PhaseStat      `json:"phases,omitempty"`
+	Auctions []AuctionOutcome `json:"auctions,omitempty"`
+
+	// Error is the execution error, if any; Blame is the failing plan
+	// step's "phase/op[node]" label when one is known.
+	Error string `json:"error,omitempty"`
+	Blame string `json:"blame,omitempty"`
+}
+
+// DefaultFlightCapacity is the record retention unless SetCapacity
+// overrides it (the CLIs' -flight N flag).
+const DefaultFlightCapacity = 128
+
+// FlightRecorder is a fixed-size ring of QueryRecords. The process-wide
+// instance is Flight(); independent instances exist for tests.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	ring []QueryRecord
+	next int
+	full bool
+}
+
+// flight is the process-wide recorder.
+var flight = NewFlightRecorder(DefaultFlightCapacity)
+
+// Flight returns the process-wide flight recorder.
+func Flight() *FlightRecorder { return flight }
+
+// NewFlightRecorder returns an independent recorder retaining up to cap
+// records.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &FlightRecorder{ring: make([]QueryRecord, capacity)}
+}
+
+// SetCapacity resizes the ring, discarding retained records.
+func (f *FlightRecorder) SetCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ring = make([]QueryRecord, n)
+	f.next = 0
+	f.full = false
+}
+
+// Reset discards retained records.
+func (f *FlightRecorder) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.ring {
+		f.ring[i] = QueryRecord{}
+	}
+	f.next = 0
+	f.full = false
+}
+
+// Record retains r, evicting the oldest record once the ring is full.
+func (f *FlightRecorder) Record(r QueryRecord) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ring[f.next] = r
+	f.next++
+	if f.next == len(f.ring) {
+		f.next = 0
+		f.full = true
+	}
+}
+
+// Len returns the number of retained records.
+func (f *FlightRecorder) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.full {
+		return len(f.ring)
+	}
+	return f.next
+}
+
+// Records returns the retained records, newest first. The slice is
+// always non-nil, so JSON encodes as [] when empty.
+func (f *FlightRecorder) Records() []QueryRecord {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.next
+	if f.full {
+		n = len(f.ring)
+	}
+	out := make([]QueryRecord, 0, n)
+	for i := 0; i < n; i++ {
+		idx := (f.next - 1 - i + 2*len(f.ring)) % len(f.ring)
+		out = append(out, f.ring[idx])
+	}
+	return out
+}
+
+// WriteFlightTable renders records as a human-readable table (the
+// ?format=table view of /debug/queries and cmd/secyan's -flight output).
+func WriteFlightTable(w io.Writer, recs []QueryRecord) {
+	fmt.Fprintf(w, "flight recorder (%d records, newest first):\n", len(recs))
+	if len(recs) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%6s %5s %-6s %-10s %-16s %5s %9s %12s %7s %s\n",
+		"qid", "sid", "party", "query", "plan digest", "steps", "time", "comm", "rounds", "status")
+	for _, r := range recs {
+		status := "ok"
+		if r.Error != "" {
+			status = "error: " + r.Error
+			if r.Blame != "" {
+				status += " @ " + r.Blame
+			}
+		}
+		fmt.Fprintf(w, "%6d %5d %-6s %-10s %-16s %5d %8.3fs %11dB %7d %s\n",
+			r.QID, r.SID, r.Party, r.Query, r.PlanDigest, r.Steps, r.Seconds, r.Bytes, r.Rounds, status)
+		phases := append([]PhaseStat(nil), r.Phases...)
+		sort.SliceStable(phases, func(i, j int) bool { return phases[i].Bytes > phases[j].Bytes })
+		for _, p := range phases {
+			fmt.Fprintf(w, "       phase   %-12s %8.3fs %11dB %7d rounds\n",
+				p.Phase, p.Seconds, p.Bytes, p.Rounds)
+		}
+		for _, a := range r.Auctions {
+			fmt.Fprintf(w, "       auction %s -> %s %v\n", a.Step, a.Chosen, a.Bids)
+		}
+	}
+}

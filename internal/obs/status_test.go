@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestStatusConcurrent exercises the live step-status map from many
+// goroutines at once; it exists to run under -race (make race-obs).
+func TestStatusConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			party := fmt.Sprintf("party-%d", g)
+			for i := 0; i < 300; i++ {
+				SetCurrentStep(StepStatus{Party: party, Phase: "join", Op: "psi", Step: i})
+				if i%25 == 0 {
+					CurrentSteps()
+				}
+				ClearCurrentStep(party)
+			}
+		}(g)
+	}
+	// A concurrent reader mimicking /debug/step scrapes.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			CurrentSteps()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := CurrentSteps(); len(got) != 0 {
+		t.Errorf("CurrentSteps after all clears = %+v, want empty", got)
+	}
+}
+
+func TestStatusSorted(t *testing.T) {
+	SetCurrentStep(StepStatus{Party: "b-party"})
+	SetCurrentStep(StepStatus{Party: "a-party"})
+	defer ClearCurrentStep("a-party")
+	defer ClearCurrentStep("b-party")
+	got := CurrentSteps()
+	if len(got) != 2 || got[0].Party != "a-party" || got[1].Party != "b-party" {
+		t.Errorf("CurrentSteps not sorted by party: %+v", got)
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -102,6 +103,10 @@ type MuxConfig struct {
 	// Deadline, when positive, bounds the whole session from NewMux;
 	// on expiry every stream fails with context.DeadlineExceeded.
 	Deadline time.Duration
+	// SID is the observability session ID stamped on the mux's fault
+	// and heartbeat events (obs.Events). Process-local bookkeeping
+	// only; it never appears in any frame.
+	SID uint64
 }
 
 // DefaultQueueCap is the per-stream receive-queue bound (in messages)
@@ -323,6 +328,11 @@ func (m *Mux) fail(err error) {
 		streams = append(streams, s)
 	}
 	m.mu.Unlock()
+	// Session faults land in the event log; orderly Close (ErrClosed)
+	// and the already-evented peer timeout do not double-report.
+	if lg := obs.Events(); lg.On() && !errors.Is(err, ErrClosed) && !errors.Is(err, ErrPeerTimeout) {
+		lg.Emit("mux.fault", obs.QueryTag{SID: m.cfg.SID}, slog.String("error", err.Error()))
+	}
 	close(m.done)
 	m.base.Close()
 	for _, s := range streams {
@@ -450,6 +460,10 @@ func (m *Mux) heartbeatLoop() {
 			m.liveMu.Unlock()
 			if silent > m.cfg.PeerTimeout {
 				mMuxPeerTimeouts.Inc()
+				if lg := obs.Events(); lg.On() {
+					lg.Emit("heartbeat.timeout", obs.QueryTag{SID: m.cfg.SID},
+						slog.Duration("silent", silent), slog.Duration("limit", m.cfg.PeerTimeout))
+				}
 				m.fail(fmt.Errorf("%w: nothing heard for %v", ErrPeerTimeout, silent.Round(time.Millisecond)))
 				return
 			}
@@ -537,6 +551,10 @@ func (s *muxStream) fail(err error) {
 		return
 	}
 	mMuxStreamsFailed.Inc()
+	if lg := obs.Events(); lg.On() {
+		lg.Emit("stream.fail", obs.QueryTag{SID: s.m.cfg.SID},
+			slog.Uint64("stream", uint64(s.id)), slog.String("error", err.Error()))
+	}
 	if handed && !closed {
 		// Release the peer's half: without this, a stream failed by
 		// its own deadline would leave the peer blocked forever.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"testing"
 	"time"
 
@@ -12,11 +13,13 @@ import (
 )
 
 // TestTranscriptEquivalenceWithObservability is the observability
-// counterpart of the worker-count equivalence test: a full query run
-// with metrics collection enabled, a tracer installed, and both parties
-// emitting spans must produce byte-identical transport statistics and
-// identical results to an unobserved run. Observation reads clocks and
-// writes process-local memory only — it must never touch the wire.
+// counterpart of the worker-count equivalence test: a fully-observed
+// query run — metrics collection enabled, a tracer installed with both
+// parties emitting spans, the structured event log mirroring to a JSON
+// sink, and the flight recorder retaining records — must produce
+// byte-identical transport statistics and identical results to an
+// unobserved run. Observation reads clocks and writes process-local
+// memory only — it must never touch the wire.
 func TestTranscriptEquivalenceWithObservability(t *testing.T) {
 	_, _, _, build := exampleQuery()
 
@@ -29,7 +32,14 @@ func TestTranscriptEquivalenceWithObservability(t *testing.T) {
 			obs.Enable()
 			tracer := obs.NewTracer()
 			obs.Install(tracer)
+			lg := obs.Events()
+			lg.SetJSONSink(io.Discard)
+			obs.Flight().Reset()
 			defer func() {
+				lg.SetJSONSink(nil)
+				lg.Disable()
+				lg.Reset()
+				obs.Flight().Reset()
 				obs.Install(nil)
 				obs.Disable()
 			}()

@@ -42,10 +42,12 @@ package secyan
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"secyan/internal/core"
 	"secyan/internal/jointree"
 	"secyan/internal/mpc"
+	"secyan/internal/obs"
 	"secyan/internal/relation"
 	"secyan/internal/share"
 	"secyan/internal/transport"
@@ -276,3 +278,44 @@ func Explain(q *Query, opts ...Option) (*Plan, error) {
 	return core.ExplainOpts(q, cfg.ring.Bits,
 		core.PlanOptions{EstOut: cfg.estOut, ChunkSize: cfg.chunk, Backend: cfg.backend})
 }
+
+// Query-scoped observability (see DESIGN.md §14): every execution on a
+// Session carries a process-local session ID and query ID; the event
+// log streams its lifecycle and the flight recorder retains one record
+// per completed run. All of it is process-local bookkeeping — a fully
+// observed run is byte-identical on the wire to an unobserved one.
+
+// QueryRecord is one completed execution's flight-recorder record:
+// plan digest, chosen-vs-rejected backends, per-phase bytes/rounds/wall
+// time, chunk size, peer, and error/fault blame.
+type QueryRecord = obs.QueryRecord
+
+// Event is one structured lifecycle event retained by the event log.
+type Event = obs.Event
+
+// FlightRecords returns the flight recorder's retained completed-query
+// records, newest first. Recording requires EnableObservability (or
+// ServeDebug / SetFlightCapacity, which enable it).
+func FlightRecords() []QueryRecord { return obs.Flight().Records() }
+
+// SetFlightCapacity resizes the flight recorder to retain the last n
+// completed-query records and enables observation.
+func SetFlightCapacity(n int) {
+	obs.Flight().SetCapacity(n)
+	obs.Enable()
+}
+
+// LogEventsJSON mirrors the structured event log to w as JSON lines
+// (session/query lifecycle, backend auctions, precompute pool hits,
+// transport faults) and enables event collection. A nil w detaches the
+// sink.
+func LogEventsJSON(w io.Writer) { obs.Events().SetJSONSink(w) }
+
+// RecentEvents returns up to max retained events, newest first
+// (max <= 0 returns all).
+func RecentEvents(max int) []Event { return obs.Events().Recent(max) }
+
+// EnableObservability turns on metric collection, the flight recorder
+// and the live step status for this process (the programmatic
+// equivalent of starting the obs debug server).
+func EnableObservability() { obs.Enable() }

@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -145,11 +146,17 @@ func buildConfig(opts []Option) config {
 type Session struct {
 	cfg  config
 	role Role
+	sid  uint64 // observability session ID (obs.NextSessionID)
 	sess *mpc.Session
 
 	mu     sync.Mutex
 	staged []stagedParty
 }
+
+// SID returns the session's process-local observability ID: the
+// session ID stamped on every event and flight record this session's
+// queries emit.
+func (s *Session) SID() uint64 { return s.sid }
 
 // stagedParty is a stream whose Party holds material from a Precompute
 // pass, parked until the next Run consumes it.
@@ -173,9 +180,11 @@ func Open(role Role, conn Conn, opts ...Option) (*Session, error) {
 	if cfg.tracer != nil {
 		obs.Install(cfg.tracer)
 	}
-	return &Session{
+	sid := obs.NextSessionID()
+	sess := &Session{
 		cfg:  cfg,
 		role: role,
+		sid:  sid,
 		sess: mpc.NewSession(role, conn, cfg.ring, mpc.SessionConfig{
 			QueueCap:       cfg.queueCap,
 			Heartbeat:      cfg.heartbeat,
@@ -183,8 +192,13 @@ func Open(role Role, conn Conn, opts ...Option) (*Session, error) {
 			Deadline:       cfg.deadline,
 			StreamDeadline: cfg.streamDeadline,
 			WrapStream:     cfg.wrapStream,
+			SID:            sid,
 		}),
-	}, nil
+	}
+	if lg := obs.Events(); lg.On() {
+		lg.Emit("session.open", obs.QueryTag{SID: sid}, slog.String("role", role.String()))
+	}
+	return sess, nil
 }
 
 // OpenLocal returns two connected in-process sessions over an
@@ -251,7 +265,8 @@ func (s *Session) RunTrace(ctx context.Context, q *Query) (*Relation, *Trace, er
 		return nil, nil, err
 	}
 	defer p.Conn.Close()
-	rel, tr, err := core.RunContextOpts(ctx, p, q, core.ExecOptions{ChunkSize: s.cfg.chunk, Backend: s.cfg.backend})
+	tag := s.admit(p, id, "run")
+	rel, tr, err := core.RunContextOpts(ctx, p, q, core.ExecOptions{ChunkSize: s.cfg.chunk, Backend: s.cfg.backend, Tag: tag})
 	if err != nil {
 		return nil, tr, s.labeled(id, err)
 	}
@@ -268,7 +283,8 @@ func (s *Session) RunShared(ctx context.Context, q *Query) (*SharedResult, error
 		return nil, err
 	}
 	defer p.Conn.Close()
-	res, _, err := core.RunSharedContextOpts(ctx, p, q, core.ExecOptions{ChunkSize: s.cfg.chunk, Backend: s.cfg.backend})
+	tag := s.admit(p, id, "run-shared")
+	res, _, err := core.RunSharedContextOpts(ctx, p, q, core.ExecOptions{ChunkSize: s.cfg.chunk, Backend: s.cfg.backend, Tag: tag})
 	if err != nil {
 		return nil, s.labeled(id, err)
 	}
@@ -288,6 +304,7 @@ func (s *Session) Precompute(ctx context.Context, q *Query) (*Trace, error) {
 	if s.cfg.tracer != nil {
 		p.Track = s.cfg.tracer.Track(fmt.Sprintf("%s/stream-%d", s.role, id))
 	}
+	s.admit(p, id, "precompute")
 	tr, err := core.PrecomputeOpts(ctx, p, q, core.PlanOptions{Backend: s.cfg.backend})
 	if err != nil {
 		p.Conn.Close()
@@ -308,6 +325,7 @@ func (s *Session) RevealRatio(ctx context.Context, num, den *SharedResult, scale
 		return nil, err
 	}
 	defer p.Conn.Close()
+	s.admit(p, id, "reveal-ratio")
 	pp, release := p.WithContext(ctx)
 	defer release()
 	rel, err := core.RevealRatio(pp, num, den, scale)
@@ -336,7 +354,37 @@ func (s *Session) Stats() SessionStats { return s.sess.Stats() }
 func (s *Session) Err() error { return s.sess.Err() }
 
 // Close ends the session; in-flight executions fail with ErrClosed.
-func (s *Session) Close() error { return s.sess.Close() }
+func (s *Session) Close() error {
+	if lg := obs.Events(); lg.On() {
+		lg.Emit("session.close", obs.QueryTag{SID: s.sid}, slog.String("role", s.role.String()))
+	}
+	return s.sess.Close()
+}
+
+// admit mints the query ID for one protocol execution, stamps it on the
+// party's tag (so events emitted below the executor attribute
+// correctly) and emits the query.admit event. The returned tag is
+// passed to the executor through ExecOptions. Admission is pure
+// process-local bookkeeping: with observation off it is two atomic
+// loads and, when a record could ever be produced, one counter
+// increment.
+func (s *Session) admit(p *Party, id uint32, kind string) obs.QueryTag {
+	tag := obs.QueryTag{SID: s.sid}
+	lg := obs.Events()
+	if !lg.On() && !obs.Enabled() {
+		p.Tag = tag
+		return tag
+	}
+	tag.QID = obs.NextQueryID()
+	p.Tag = tag
+	if lg.On() {
+		lg.Emit("query.admit", tag,
+			slog.String("kind", kind),
+			slog.String("role", s.role.String()),
+			slog.Uint64("stream", uint64(id)))
+	}
+	return tag
+}
 
 // labeled ensures an execution error carries its stream id (executor
 // errors are already phase/op-labeled; transport errors arrive
