@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all test short race race-sessions race-chunks race-backends race-obs bench bench-json vet fuzz
+.PHONY: all test short race race-sessions race-chunks race-backends race-obs race-kernels bench bench-json vet fuzz
 
 all: vet test
 
@@ -52,6 +52,14 @@ race-backends:
 race-obs:
 	$(GO) test -race -count=3 -timeout 30m -run 'Obs|Event|Flight|Label|Status|Prom|Shutdown' ./internal/obs ./internal/core .
 
+# The crypto-kernel packages under the race detector, repeated: the
+# fixed-key AES hash layer (batched MMO, the 8-wide AESENC kernel, the
+# noescape scratch laundering), the IKNP extension that hashes matrix
+# rows through it, PSI/cuckoo bin sweeps, and the packed bit-matrix
+# plumbing underneath (see DESIGN.md §15).
+race-kernels:
+	$(GO) test -race -count=3 -timeout 30m ./internal/prf ./internal/bitutil ./internal/ot ./internal/cuckoo ./internal/psi
+
 # Worker-count scaling benchmarks for the parallel kernels (IKNP
 # extension, garbling/evaluation, bit-matrix transpose) plus the
 # remaining micro-benchmarks. Paper-figure benchmarks live behind
@@ -68,11 +76,14 @@ bench:
 # forced variant (absent = cost-based selection). BENCH_pr8.json attaches
 # each measured secure point's flight-recorder records ("flight"): the
 # per-query plan digest, per-phase bytes/rounds/time, and auction
-# outcomes behind the headline numbers.
+# outcomes behind the headline numbers. BENCH_pr9.json covers all five
+# figures after the fixed-key AES kernel switch and adds the "kernels"
+# field: per-point OT/garble/evaluate/PSI kernel throughputs.
 bench-json:
 	$(GO) run ./cmd/secyan-bench -precompute -scales 0.02,0.06,0.12 -securecap 0.12 -json BENCH_pr4.json
 	$(GO) run ./cmd/secyan-bench -fig 0 -backends -scales 0.02,0.06 -securecap 0.06 -json BENCH_pr7.json
 	$(GO) run ./cmd/secyan-bench -fig 2 -scales 0.02,0.06 -securecap 0.06 -json BENCH_pr8.json
+	$(GO) run ./cmd/secyan-bench -fig 0 -scales 0.02,0.06 -securecap 0.06 -json BENCH_pr9.json
 
 vet:
 	$(GO) vet ./...

@@ -25,9 +25,12 @@ import (
 	"time"
 
 	"secyan/internal/core"
+	"secyan/internal/gc"
 	"secyan/internal/gcbaseline"
 	"secyan/internal/mpc"
 	"secyan/internal/obs"
+	"secyan/internal/ot"
+	"secyan/internal/psi"
 	"secyan/internal/queries"
 	"secyan/internal/relation"
 	"secyan/internal/share"
@@ -85,6 +88,59 @@ type Point struct {
 	// composed sub-runs of Q8/Q9) when Options.Flight is set — the
 	// per-query, per-phase, per-backend attribution of the point.
 	Flight []obs.QueryRecord `json:"flight,omitempty"`
+	// Kernels reports the aggregate crypto-kernel throughputs of the
+	// measured secure run (both in-process parties combined), differenced
+	// from the cumulative obs counters around the run. Present only when
+	// Options.Flight is set and the corresponding kernel actually ran.
+	Kernels *KernelRates `json:"kernels,omitempty"`
+}
+
+// KernelRates are the crypto-kernel throughputs of one measured secure
+// run: total units processed divided by total in-kernel time, summed over
+// both parties. They track the fixed-key AES hash adoption — OT-extension
+// pad derivation, half-gates garbling/evaluation and PSI bin handling all
+// bottleneck on these kernels.
+type KernelRates struct {
+	OTExtPerSec   int64 `json:"otext_ots_per_sec,omitempty"`
+	GarblePerSec  int64 `json:"gc_garble_gates_per_sec,omitempty"`
+	EvalPerSec    int64 `json:"gc_eval_gates_per_sec,omitempty"`
+	PSIBinsPerSec int64 `json:"psi_bins_per_sec,omitempty"`
+}
+
+// kernelTotals is one snapshot of the cumulative kernel aggregates.
+type kernelTotals struct {
+	ots, otNs   int64
+	gg, ggNs    int64
+	ge, geNs    int64
+	bins, binNs int64
+}
+
+func snapshotKernels() (k kernelTotals) {
+	k.ots, k.otNs = ot.ExtKernelTotals()
+	k.gg, k.ggNs, k.ge, k.geNs = gc.KernelTotals()
+	k.bins, k.binNs = psi.KernelTotals()
+	return k
+}
+
+// kernelRate converts a (units, nanoseconds) delta to units/second.
+func kernelRate(n, ns int64) int64 {
+	if ns <= 0 {
+		return 0
+	}
+	return int64(float64(n) * 1e9 / float64(ns))
+}
+
+func kernelsBetween(before, after kernelTotals) *KernelRates {
+	k := KernelRates{
+		OTExtPerSec:   kernelRate(after.ots-before.ots, after.otNs-before.otNs),
+		GarblePerSec:  kernelRate(after.gg-before.gg, after.ggNs-before.ggNs),
+		EvalPerSec:    kernelRate(after.ge-before.ge, after.geNs-before.geNs),
+		PSIBinsPerSec: kernelRate(after.bins-before.bins, after.binNs-before.binNs),
+	}
+	if k == (KernelRates{}) {
+		return nil
+	}
+	return &k
 }
 
 // PhaseCost aggregates the per-step trace of a secure run over one
@@ -305,6 +361,7 @@ func runSecure(spec queries.Spec, db *tpch.DB, scale float64, opt Options) (Poin
 		alice.Track = opt.Tracer.Track(prefix + "Alice")
 		bob.Track = opt.Tracer.Track(prefix + "Bob")
 	}
+	var kernelsBefore kernelTotals
 	if opt.Flight {
 		// Record this run in the flight recorder; the records become
 		// part of the point. Enabling observation never changes the
@@ -315,6 +372,7 @@ func runSecure(spec queries.Spec, db *tpch.DB, scale float64, opt Options) (Poin
 			defer obs.Disable()
 		}
 		obs.Flight().Reset()
+		kernelsBefore = snapshotKernels()
 	}
 	var phases []PhaseCost
 	alice.Observer = func(s mpc.StepTrace) {
@@ -377,6 +435,7 @@ func runSecure(spec queries.Spec, db *tpch.DB, scale float64, opt Options) (Poin
 	}
 	if opt.Flight {
 		pt.Flight = obs.Flight().Records()
+		pt.Kernels = kernelsBetween(kernelsBefore, snapshotKernels())
 	}
 	runtime.ReadMemStats(&msAfter)
 	pt.memDelta(&msBefore, &msAfter)

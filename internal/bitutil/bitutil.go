@@ -4,7 +4,11 @@
 // row-wise.
 package bitutil
 
-import "secyan/internal/parallel"
+import (
+	"encoding/binary"
+
+	"secyan/internal/parallel"
+)
 
 // Vector is a packed little-endian bit vector: bit i lives at
 // word i/64, position i%64.
@@ -130,14 +134,25 @@ func (m *Matrix) Row(r int) []uint64 {
 	return m.bits[r*m.rowWords : (r+1)*m.rowWords]
 }
 
-// SetRowBytes fills row r from little-endian bytes.
+// SetRowBytes fills row r from little-endian bytes, eight at a time.
 func (m *Matrix) SetRowBytes(r int, data []byte) {
 	row := m.Row(r)
-	for i := range row {
-		row[i] = 0
+	if len(data) > m.rowWords*8 {
+		data = data[:m.rowWords*8]
 	}
-	for i := 0; i < len(data) && i < m.rowWords*8; i++ {
-		row[i/8] |= uint64(data[i]) << (8 * (uint(i) % 8))
+	w := 0
+	for ; (w+1)*8 <= len(data); w++ {
+		row[w] = binary.LittleEndian.Uint64(data[w*8:])
+	}
+	if w < m.rowWords {
+		var last uint64
+		for i := w * 8; i < len(data); i++ {
+			last |= uint64(data[i]) << (8 * (uint(i) % 8))
+		}
+		row[w] = last
+		for w++; w < m.rowWords; w++ {
+			row[w] = 0
+		}
 	}
 }
 
@@ -154,7 +169,11 @@ func (m *Matrix) RowBytes(r int) []byte {
 func (m *Matrix) RowBytesInto(dst []byte, r int) {
 	row := m.Row(r)
 	n := (m.Cols + 7) / 8
-	for i := 0; i < n; i++ {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], row[i/8])
+	}
+	for ; i < n; i++ {
 		dst[i] = byte(row[i/8] >> (8 * (uint(i) % 8)))
 	}
 }

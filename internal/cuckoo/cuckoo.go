@@ -46,14 +46,50 @@ func NumBins(m int) int {
 	return b
 }
 
-// BinOf returns hash function `which` (0..2) of x over b bins, keyed by
-// seed. Both parties evaluate it on their own sets, so it must be cheap
-// and deterministic.
-func BinOf(seed prf.Seed, b int, x uint64, which int) int {
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], x)
-	h := prf.Hash(uint64(which), seed[:], buf[:])
+// binKey builds the fixed-key AES input block for element x under seed:
+// the 128-bit seed with x folded into its low 8 bytes. Distinct elements
+// give distinct blocks for any seed, and the random per-table seed makes
+// the bin assignment fresh per build.
+func binKey(seed prf.Seed, x uint64) prf.Block {
+	k := prf.Block(seed)
+	binary.LittleEndian.PutUint64(k[:8],
+		binary.LittleEndian.Uint64(k[:8])^x)
+	return k
+}
+
+// binOfHash reduces one MMO digest to a bin index.
+func binOfHash(h prf.Block, b int) int {
 	return int(binary.LittleEndian.Uint64(h[:8]) % uint64(b))
+}
+
+// BinOf returns hash function `which` (0..2) of x over b bins, keyed by
+// seed: the fixed-key AES MMO hash of binKey(seed, x) under the PSI
+// tweak domain, with `which` as the tweak. Both parties evaluate it on
+// their own sets, so it must be cheap and deterministic.
+func BinOf(seed prf.Seed, b int, x uint64, which int) int {
+	return binOfHash(prf.HashBlock(binKey(seed, x), prf.SitePSI|uint64(which)), b)
+}
+
+// BinsOf computes BinOf for every element of xs under one hash function
+// in a single batched AES sweep, writing the bin indices into out
+// (len(out) must be at least len(xs)). The PSI sender's simple hashing
+// and the cuckoo build's candidate table use it to amortize the
+// fixed-key cipher calls across whole sets.
+func BinsOf(seed prf.Seed, b int, xs []uint64, which int, out []int) {
+	var blk [64]prf.Block
+	for base := 0; base < len(xs); base += len(blk) {
+		n := len(xs) - base
+		if n > len(blk) {
+			n = len(blk)
+		}
+		for k := 0; k < n; k++ {
+			blk[k] = binKey(seed, xs[base+k])
+		}
+		prf.HashBlocks(blk[:n], blk[:n], prf.SitePSI|uint64(which), 0)
+		for k := 0; k < n; k++ {
+			out[base+k] = binOfHash(blk[k], b)
+		}
+	}
 }
 
 // Table is a built cuckoo table: every inserted item occupies exactly one
@@ -85,6 +121,10 @@ func Build(g *prf.PRG, items []uint64) (*Table, error) {
 		seen[x] = struct{}{}
 	}
 	b := NumBins(len(items))
+	var cand [NumHashes][]int
+	for w := range cand {
+		cand[w] = make([]int, len(items))
+	}
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if attempt > 0 {
 			mRehashes.Inc()
@@ -96,7 +136,13 @@ func Build(g *prf.PRG, items []uint64) (*Table, error) {
 			Bins:      make([]int, b),
 			WhichHash: make([]uint8, len(items)),
 		}
-		if kicks, ok := t.tryBuild(g); ok {
+		// All candidate bins of the attempt's seed in three batched AES
+		// sweeps; the random-walk insertion below then only does table
+		// lookups.
+		for w := range cand {
+			BinsOf(t.Seed, b, items, w, cand[w])
+		}
+		if kicks, ok := t.tryBuild(g, &cand); ok {
 			mBuilds.Inc()
 			mKicks.Observe(int64(kicks))
 			return t, nil
@@ -105,7 +151,7 @@ func Build(g *prf.PRG, items []uint64) (*Table, error) {
 	return nil, fmt.Errorf("cuckoo: failed to build table for %d items after %d rehashes", len(items), maxAttempts)
 }
 
-func (t *Table) tryBuild(g *prf.PRG) (int, bool) {
+func (t *Table) tryBuild(g *prf.PRG, cand *[NumHashes][]int) (int, bool) {
 	for i := range t.Bins {
 		t.Bins[i] = -1
 	}
@@ -117,7 +163,7 @@ func (t *Table) tryBuild(g *prf.PRG) (int, bool) {
 		cur := i
 		which := uint8(g.Uint64n(NumHashes))
 		for {
-			bin := BinOf(t.Seed, t.B, t.Items[cur], int(which))
+			bin := cand[which][cur]
 			prev := t.Bins[bin]
 			t.Bins[bin] = cur
 			t.WhichHash[cur] = which

@@ -187,3 +187,28 @@ func TestPropertyBuildAlwaysSucceedsOnRandomSets(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBinsOfMatchesBinOf pins the batched AES bin sweep to the scalar
+// BinOf for every hash function — the receiver builds its table through
+// the batched path while lookups use the scalar one, so any divergence
+// silently empties the intersection.
+func TestBinsOfMatchesBinOf(t *testing.T) {
+	g := prf.NewPRG(prf.Seed{11})
+	seed := g.Seed()
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		xs := make([]uint64, n)
+		for i := range xs {
+			xs[i] = g.Uint64()
+		}
+		b := NumBins(n)
+		out := make([]int, n)
+		for w := 0; w < NumHashes; w++ {
+			BinsOf(seed, b, xs, w, out)
+			for i, x := range xs {
+				if want := BinOf(seed, b, x, w); out[i] != want {
+					t.Fatalf("n=%d which=%d item %d: batched bin %d != scalar %d", n, w, i, out[i], want)
+				}
+			}
+		}
+	}
+}

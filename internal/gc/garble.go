@@ -35,6 +35,14 @@ func gateRate(gates int, d time.Duration) int64 {
 	return int64(float64(gates) / d.Seconds())
 }
 
+// KernelTotals returns the cumulative garbling and evaluation kernel
+// aggregates — gates processed and nanoseconds spent — since obs was
+// enabled. Benchmark drivers difference two snapshots around a measured
+// run to report per-query kernel throughput.
+func KernelTotals() (gatesGarbled, garbleNs, gatesEvaled, evalNs int64) {
+	return mGatesGarbled.Value(), mGarbleNs.Sum(), mGatesEvaled.Value(), mEvalNs.Sum()
+}
+
 // garbled holds the garbler's view of a garbled circuit: the zero-label of
 // every wire, the global free-XOR offset Δ, and the AND-gate tables.
 type garbled struct {

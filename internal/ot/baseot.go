@@ -30,7 +30,14 @@ var (
 	mExtOTs     = obs.NewCounter("secyan_ot_ext_total", "IKNP extension OT instances executed (sender+receiver sides of this process).")
 	mExtBatches = obs.NewCounter("secyan_ot_ext_batches_total", "IKNP extension batches (Send/Receive calls).")
 	mExtNs      = obs.NewHistogram("secyan_ot_ext_ns", "Latency of one IKNP extension batch, nanoseconds.")
+	mExtRate    = obs.NewGauge("secyan_ot_ext_ots_per_second", "Throughput of the most recent online IKNP extension batch (Send/Receive call), OTs/second.")
 )
+
+// ExtKernelTotals reports the cumulative online extension-OT count and
+// the summed per-batch latency observed by the obs layer (both zero
+// until obs.Enable). The benchmark harness differences two snapshots to
+// compute the aggregate OTs/second of one measured run.
+func ExtKernelTotals() (ots, ns int64) { return mExtOTs.Value(), mExtNs.Sum() }
 
 // groupP is the 2048-bit MODP prime of RFC 3526 group 14; groupG is its
 // canonical generator 2. The group provides κ=112+ bits of computational

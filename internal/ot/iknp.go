@@ -14,6 +14,14 @@ import (
 // kappa is the number of base OTs / the width of the IKNP matrix.
 const kappa = 128
 
+// otRate converts an instance count and elapsed time to OTs/second.
+func otRate(m int, d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64(float64(m) / d.Seconds())
+}
+
 // Sender is the message-sending endpoint of an IKNP OT-extension session.
 // After a one-time Setup (κ base OTs in the reverse direction), every call
 // to Send transfers an arbitrary batch of message pairs using only
@@ -78,27 +86,63 @@ func NewReceiver(conn transport.Conn) (*Receiver, error) {
 	return r, nil
 }
 
-// pad expands the OT instance key (a κ-bit row) to msgLen pad bytes.
-func pad(domain uint64, row []byte, msgLen int) []byte {
-	if msgLen <= 32 {
-		h := prf.Hash(domain, row)
-		return h[:msgLen]
-	}
-	return prf.HashToWidth(domain, msgLen, row)
-}
+// padBatch is the number of OT instances whose pads are hashed per
+// HashBlocks call in the batched break-correlation path.
+const padBatch = 64
 
-// derivePad writes the len(dst)-byte pad of one OT instance into dst.
-// Pads of a digest or less derive without heap allocation; wider pads
-// (never used by the protocols, which cap at 16-byte labels) fall back
-// to the expanding hash. The cold branch hashes a copy of the row so
-// that row never escapes and callers can pass stack buffers.
-func derivePad(dst []byte, domain uint64, row []byte) {
-	if len(dst) <= 32 {
-		prf.HashInto(dst, domain, row)
+// otTweak maps the session-global OT instance counter into the OT
+// extension's tweak domain of the fixed-key permutation (see the Site*
+// scheme in prf/fixedkey.go). The two pads of one instance — rows q_j
+// and q_j ⊕ s — share the tweak by design: that correlated pair is the
+// correlation-robustness game the MMO hash is assumed to win.
+func otTweak(idx uint64) uint64 { return prf.SiteOT | idx }
+
+// derivePad writes the len(dst)-byte pad of OT instance idx into dst:
+// the fixed-key AES MMO hash of the instance's κ-bit row, truncated for
+// narrower messages and KDF-expanded (HashToWidthAES) for wider ones.
+// Every branch is allocation-free, so callers can pass stack buffers.
+func derivePad(dst []byte, idx uint64, row prf.Block) {
+	if len(dst) <= 16 {
+		h := prf.HashBlock(row, otTweak(idx))
+		copy(dst, h[:len(dst)])
 		return
 	}
-	rowCopy := append([]byte(nil), row...)
-	copy(dst, prf.HashToWidth(domain, len(dst), rowCopy))
+	prf.HashToWidthAES(dst, row, otTweak(idx))
+}
+
+// hashRowPads derives the pads of OT instances [lo, hi) in bulk:
+// instance j's key is row j of rows (XORed with mask when non-nil),
+// hashed under tweak idx+j, and its pad lands at
+// dst[j·stride·msgLen : j·stride·msgLen+msgLen]. The protocol-standard
+// msgLen of 16 bytes runs the batched HashBlocks kernel — one row
+// gather and one AES sweep per padBatch instances; other widths fall
+// back to per-instance derivation. Zero heap allocations either way.
+func hashRowPads(dst []byte, stride int, rows *bitutil.Matrix, mask *[kappa / 8]byte, idx uint64, lo, hi, msgLen int) {
+	var src, out [padBatch]prf.Block
+	for base := lo; base < hi; base += padBatch {
+		n := hi - base
+		if n > padBatch {
+			n = padBatch
+		}
+		for k := 0; k < n; k++ {
+			rows.RowBytesInto(src[k][:], base+k)
+			if mask != nil {
+				prf.XORBytes(src[k][:], src[k][:], mask[:])
+			}
+		}
+		if msgLen == 16 {
+			prf.HashBlocks(out[:n], src[:n], otTweak(idx+uint64(base)), 1)
+			for k := 0; k < n; k++ {
+				off := (base + k) * stride * msgLen
+				copy(dst[off:off+msgLen], out[k][:])
+			}
+		} else {
+			for k := 0; k < n; k++ {
+				off := (base + k) * stride * msgLen
+				derivePad(dst[off:off+msgLen], idx+uint64(base+k), src[k])
+			}
+		}
+	}
 }
 
 // Receive performs len(choices) OTs, returning the chosen message of each
@@ -116,9 +160,11 @@ func (r *Receiver) Receive(choices []bool, msgLen int) ([][]byte, error) {
 	if obs.Enabled() {
 		startT = time.Now()
 		defer func() {
+			d := time.Since(startT)
 			mExtOTs.Add(int64(m))
 			mExtBatches.Inc()
-			mExtNs.Observe(time.Since(startT).Nanoseconds())
+			mExtNs.Observe(d.Nanoseconds())
+			mExtRate.Set(otRate(m, d))
 		}()
 	}
 	if b := r.pool.take(m, msgLen); b != nil {
@@ -159,16 +205,14 @@ func (r *Receiver) receiveDirect(choices []bool, msgLen int) ([][]byte, error) {
 	}
 	// OT instances are independent: instance j reads row j of Tᵀ and its
 	// own ciphertext slice and writes only out[j]. All outputs share one
-	// flat backing array and the pad is derived in place, so the loop
-	// performs no per-instance allocation.
+	// flat backing array, pads are hashed in padBatch-sized AES sweeps
+	// straight into it, and the loop performs no per-instance allocation.
 	out := make([][]byte, m)
 	outBack := make([]byte, m*msgLen)
 	parallel.For(m, 32, func(lo, hi int) {
-		var rowBuf [kappa / 8]byte
+		hashRowPads(outBack, 1, tt, nil, r.idx, lo, hi, msgLen)
 		for j := lo; j < hi; j++ {
 			msg := outBack[j*msgLen : (j+1)*msgLen]
-			tt.RowBytesInto(rowBuf[:], j)
-			derivePad(msg, r.idx+uint64(j), rowBuf[:])
 			c := ct[2*j*msgLen : (2*j+1)*msgLen]
 			if choices[j] {
 				c = ct[(2*j+1)*msgLen : (2*j+2)*msgLen]
@@ -218,9 +262,11 @@ func (s *Sender) Send(pairs [][2][]byte) error {
 	if obs.Enabled() {
 		startT = time.Now()
 		defer func() {
+			d := time.Since(startT)
 			mExtOTs.Add(int64(m))
 			mExtBatches.Inc()
-			mExtNs.Observe(time.Since(startT).Nanoseconds())
+			mExtNs.Observe(d.Nanoseconds())
+			mExtRate.Set(otRate(m, d))
 		}()
 	}
 	msgLen := len(pairs[0][0])
@@ -248,18 +294,16 @@ func (s *Sender) sendDirect(pairs [][2][]byte, msgLen int) error {
 	}
 
 	// Instance j derives both pads from row j alone and writes the
-	// disjoint ciphertext slice ct[2j·msgLen : (2j+2)·msgLen]; pads land
-	// directly in the ciphertext buffer, so no per-instance allocation.
+	// disjoint ciphertext slice ct[2j·msgLen : (2j+2)·msgLen]; pads are
+	// hashed in batched AES sweeps (one per correlation side) directly
+	// into the ciphertext buffer, so no per-instance allocation.
 	ct := make([]byte, 2*m*msgLen)
 	parallel.For(m, 32, func(lo, hi int) {
-		var rowBuf, qxs [kappa / 8]byte
+		hashRowPads(ct, 2, qt, nil, s.idx, lo, hi, msgLen)
+		hashRowPads(ct[msgLen:], 2, qt, &s.sRow, s.idx, lo, hi, msgLen)
 		for j := lo; j < hi; j++ {
-			qt.RowBytesInto(rowBuf[:], j)
 			c0 := ct[2*j*msgLen : (2*j+1)*msgLen]
 			c1 := ct[(2*j+1)*msgLen : (2*j+2)*msgLen]
-			derivePad(c0, s.idx+uint64(j), rowBuf[:])
-			prf.XORBytes(qxs[:], rowBuf[:], s.sRow[:])
-			derivePad(c1, s.idx+uint64(j), qxs[:])
 			prf.XORBytes(c0, c0, pairs[j][0])
 			prf.XORBytes(c1, c1, pairs[j][1])
 		}

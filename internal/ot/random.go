@@ -129,13 +129,8 @@ func (s *Sender) FillRandom(m, msgLen int) error {
 	r0 := make([]byte, m*msgLen)
 	r1 := make([]byte, m*msgLen)
 	parallel.For(m, 32, func(lo, hi int) {
-		var rowBuf, qxs [kappa / 8]byte
-		for j := lo; j < hi; j++ {
-			qt.RowBytesInto(rowBuf[:], j)
-			derivePad(r0[j*msgLen:(j+1)*msgLen], s.idx+uint64(j), rowBuf[:])
-			prf.XORBytes(qxs[:], rowBuf[:], s.sRow[:])
-			derivePad(r1[j*msgLen:(j+1)*msgLen], s.idx+uint64(j), qxs[:])
-		}
+		hashRowPads(r0, 1, qt, nil, s.idx, lo, hi, msgLen)
+		hashRowPads(r1, 1, qt, &s.sRow, s.idx, lo, hi, msgLen)
 	})
 	s.idx += uint64(mPad)
 	s.pool.push(&randBatch{m: m, msgLen: msgLen, r0: r0, r1: r1})
@@ -172,11 +167,7 @@ func (r *Receiver) FillRandom(m, msgLen int) error {
 	}
 	rc := make([]byte, m*msgLen)
 	parallel.For(m, 32, func(lo, hi int) {
-		var rowBuf [kappa / 8]byte
-		for j := lo; j < hi; j++ {
-			tt.RowBytesInto(rowBuf[:], j)
-			derivePad(rc[j*msgLen:(j+1)*msgLen], r.idx+uint64(j), rowBuf[:])
-		}
+		hashRowPads(rc, 1, tt, nil, r.idx, lo, hi, msgLen)
 	})
 	r.idx += uint64(mPad)
 	r.pool.push(&randBatch{m: m, msgLen: msgLen, bits: bits, rc: rc})

@@ -1,0 +1,29 @@
+//go:build amd64
+
+package prf
+
+// hasAES8 reports whether the batched 8-wide AESENC kernel is usable.
+// AES-NI has been ubiquitous on x86-64 since ~2010, but the check keeps
+// the package correct under emulators and stripped-down VMs, where
+// HashBlocks simply stays on the per-block cipher path.
+var hasAES8 = cpuHasAES()
+
+// fixedRoundKeys is the expanded schedule of the fixed MMO key, consumed
+// by the assembly kernel.
+var fixedRoundKeys = expandAESKey128([16]byte([]byte(fixedKeyMaterial)))
+
+// cpuHasAES reports the CPUID AES-NI feature bit (leaf 1, ECX bit 25).
+func cpuHasAES() bool
+
+// encryptBlocks8Asm applies ten AESENC rounds of the expanded key rk to
+// the eight consecutive blocks at src, writing the eight blocks at dst
+// (which may alias src). Keeping eight states in flight hides the
+// multi-cycle AESENC latency that a one-block-per-call cipher cannot.
+//
+//go:noescape
+func encryptBlocks8Asm(rk *byte, dst, src *Block)
+
+// encryptBlocks8 is the typed wrapper the hash paths call.
+func encryptBlocks8(dst, src *[8]Block) {
+	encryptBlocks8Asm(&fixedRoundKeys[0], &dst[0], &src[0])
+}

@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package prf
+
+// Non-amd64 builds have no batched AESENC kernel; HashBlocks uses the
+// per-block cipher path throughout.
+const hasAES8 = false
+
+func encryptBlocks8(dst, src *[8]Block) {
+	panic("prf: encryptBlocks8 without hardware support")
+}

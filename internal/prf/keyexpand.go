@@ -1,0 +1,76 @@
+package prf
+
+import "encoding/binary"
+
+// This file holds a self-contained AES-128 key schedule (FIPS-197 §5.2)
+// for the fixed MMO key. The standard library performs its expansion
+// inside crypto/aes where the round keys are unreachable, and the
+// batched 8-wide AESENC kernel (aes8_amd64.s) needs them in memory in
+// standard byte order. The S-box is generated, not transcribed, to rule
+// out table typos: multiplicative inverse in GF(2^8) followed by the
+// affine transform.
+
+// sbox is a var initializer, not an init func, so that package-level
+// consumers (the fixed round-key schedule) are ordered after it by the
+// compiler's initialization dependency analysis.
+var sbox = makeSbox()
+
+func makeSbox() (sb [256]byte) {
+	mul := func(a, b byte) byte {
+		var p byte
+		for b != 0 {
+			if b&1 == 1 {
+				p ^= a
+			}
+			hi := a & 0x80
+			a <<= 1
+			if hi != 0 {
+				a ^= 0x1b // x^8 + x^4 + x^3 + x + 1
+			}
+			b >>= 1
+		}
+		return p
+	}
+	rotl := func(b byte, n uint) byte { return b<<n | b>>(8-n) }
+	for x := 1; x < 256; x++ {
+		var inv byte
+		for y := 1; y < 256; y++ {
+			if mul(byte(x), byte(y)) == 1 {
+				inv = byte(y)
+				break
+			}
+		}
+		sb[x] = inv ^ rotl(inv, 1) ^ rotl(inv, 2) ^ rotl(inv, 3) ^ rotl(inv, 4) ^ 0x63
+	}
+	sb[0] = 0x63
+	return sb
+}
+
+// expandAESKey128 derives the 11 round keys of AES-128 in standard byte
+// order, ready to MOVUPS straight into AESENC operands.
+func expandAESKey128(key [16]byte) (rk [176]byte) {
+	var w [44]uint32
+	for i := 0; i < 4; i++ {
+		w[i] = binary.BigEndian.Uint32(key[4*i:])
+	}
+	subw := func(x uint32) uint32 {
+		return uint32(sbox[x>>24])<<24 | uint32(sbox[x>>16&0xff])<<16 |
+			uint32(sbox[x>>8&0xff])<<8 | uint32(sbox[x&0xff])
+	}
+	rcon := uint32(1)
+	for i := 4; i < 44; i++ {
+		t := w[i-1]
+		if i%4 == 0 {
+			t = subw(t<<8|t>>24) ^ rcon<<24
+			rcon <<= 1
+			if rcon > 0xff {
+				rcon ^= 0x11b
+			}
+		}
+		w[i] = w[i-4] ^ t
+	}
+	for i, x := range w {
+		binary.BigEndian.PutUint32(rk[4*i:], x)
+	}
+	return rk
+}

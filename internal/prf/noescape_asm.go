@@ -1,0 +1,16 @@
+//go:build amd64 || arm64
+
+package prf
+
+import "unsafe"
+
+// noescape returns p unchanged while hiding it from escape analysis. The
+// hot MMO paths pass stack scratch blocks through the cipher.Block
+// interface, whose method arguments the compiler must assume escape;
+// laundering the scratch pointer through this assembly identity (whose
+// //go:noescape contract promises the callee does not retain it) keeps
+// those blocks on the stack. Sound only because AES Encrypt never holds
+// the slices past the call.
+//
+//go:noescape
+func noescape(p unsafe.Pointer) unsafe.Pointer

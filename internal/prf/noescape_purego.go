@@ -1,0 +1,10 @@
+//go:build !amd64 && !arm64
+
+package prf
+
+import "unsafe"
+
+// noescape is an identity on architectures without the assembly stub;
+// scratch blocks then escape to the heap through the cipher.Block
+// interface and the hash paths allocate, which is slower but correct.
+func noescape(p unsafe.Pointer) unsafe.Pointer { return p }

@@ -1,8 +1,18 @@
 // Package prf provides the symmetric primitives the protocols are built
-// from: an AES-128-CTR pseudorandom generator, SHA-256 based hashing to
-// arbitrary widths, and the fixed-key AES hash used by the garbled-circuit
-// garbler. The computational security parameter κ is 128 bits throughout,
-// matching the paper's experimental setup (§8.2).
+// from: an AES-128-CTR pseudorandom generator, the fixed-key AES
+// (MMO-style) hash family used by the garbled-circuit garbler, the IKNP
+// OT-extension break-correlation step and the PSI bin hashing — single
+// (HashBlock), batched (HashBlocks) and width-expanding (HashToWidthAES)
+// — and SHA-256 hashing for the call sites whose security model needs a
+// full random oracle over variable-length input (the Naor–Pinkas base
+// OTs hash 2048-bit group elements, outside the fixed-permutation
+// correlation-robustness model).
+//
+// Every MMO call site shares one public fixed-key permutation π; the
+// 64-bit tweak space is partitioned between them by the Site* constants
+// (see fixedkey.go for the scheme). The computational security
+// parameter κ is 128 bits throughout, matching the paper's experimental
+// setup (§8.2).
 package prf
 
 import (
@@ -10,6 +20,7 @@ import (
 	"crypto/cipher"
 	"crypto/rand"
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/binary"
 )
 
@@ -162,7 +173,5 @@ func XORBytes(dst, a, b []byte) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic("prf: XORBytes length mismatch")
 	}
-	for i := range dst {
-		dst[i] = a[i] ^ b[i]
-	}
+	subtle.XORBytes(dst, a, b)
 }

@@ -21,6 +21,7 @@ package psi
 
 import (
 	"fmt"
+	"time"
 
 	"secyan/internal/cuckoo"
 	"secyan/internal/gc"
@@ -40,7 +41,42 @@ var (
 	mPSIPadded    = obs.NewCounter("secyan_psi_sender_padded_slots_total", "Dummy slots added to pad sender bins to the load bound L.")
 	mPSIEmptyBins = obs.NewCounter("secyan_psi_receiver_empty_bins_total", "Receiver cuckoo bins left empty (filled with dummies).")
 	mPSIElements  = obs.NewCounter("secyan_psi_elements_total", "Real elements fed into PSI executions (both sides).")
+	mPSINs        = obs.NewHistogram("secyan_psi_ns", "Latency of one PSI execution (either side, direct or indexed), nanoseconds.")
+	mPSIRate      = obs.NewGauge("secyan_psi_bins_per_second", "Throughput of the most recent PSI execution, receiver bins/second.")
 )
+
+// binRate converts a bin count and elapsed time to bins/second.
+func binRate(b int, d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64(float64(b) / d.Seconds())
+}
+
+// observeRun records one PSI execution's dimensions on the obs layer and
+// returns a stop function that, when obs is enabled, folds the run's
+// latency into the histogram and throughput gauge. The no-obs path costs
+// one atomic load and allocates nothing.
+func observeRun(bins, elements int) func() {
+	if !obs.Enabled() {
+		return func() {}
+	}
+	mPSIRuns.Inc()
+	mPSIElements.Add(int64(elements))
+	mPSIBins.Observe(int64(bins))
+	startT := time.Now()
+	return func() {
+		d := time.Since(startT)
+		mPSINs.Observe(d.Nanoseconds())
+		mPSIRate.Set(binRate(bins, d))
+	}
+}
+
+// KernelTotals reports the cumulative receiver-bin count and summed
+// execution latency observed by the obs layer (both zero until
+// obs.Enable). The benchmark harness differences two snapshots to
+// compute the aggregate bins/second of one measured run.
+func KernelTotals() (bins, ns int64) { return mPSIBins.Sum(), mPSINs.Sum() }
 
 // Sigma is the statistical security parameter (paper §4: σ = 40) used for
 // the sender's bin-load bound.
@@ -99,17 +135,22 @@ type Result struct {
 
 // senderBins simple-hashes the sender's elements into the receiver's bin
 // space, padding every bin to exactly L entries. Payloads follow their
-// elements; dummy entries carry payload 0.
+// elements; dummy entries carry payload 0. Bin indices are computed per
+// hash function in batched AES sweeps (cuckoo.BinsOf); slot order within
+// a bin is irrelevant to the comparison circuit, which treats the L
+// entries symmetrically.
 func senderBins(seed prf.Seed, pr Params, ys, payloads []uint64) (keys, pays [][]uint64, err error) {
 	keys = make([][]uint64, pr.B)
 	pays = make([][]uint64, pr.B)
-	for j, y := range ys {
-		for which := 0; which < cuckoo.NumHashes; which++ {
+	bins := make([]int, len(ys))
+	for which := 0; which < cuckoo.NumHashes; which++ {
+		cuckoo.BinsOf(seed, pr.B, ys, which, bins)
+		for j, y := range ys {
 			k, err := Compose(y, which)
 			if err != nil {
 				return nil, nil, err
 			}
-			b := cuckoo.BinOf(seed, pr.B, y, which)
+			b := bins[j]
 			if len(keys[b]) >= pr.L {
 				// Statistical failure (probability < 2^-σ), permitted by
 				// the model (§4) but surfaced as an error.
@@ -196,9 +237,7 @@ func RunReceiver(p *mpc.Party, xs []uint64, nSender int) (*Result, error) {
 	pr := NewParams(len(xs), nSender)
 	sp := obs.Begin("psi", "psi.recv")
 	defer sp.EndN(int64(pr.B))
-	mPSIRuns.Inc()
-	mPSIElements.Add(int64(len(xs)))
-	mPSIBins.Observe(int64(pr.B))
+	defer observeRun(pr.B, len(xs))()
 	table, err := cuckoo.Build(p.PRG, xs)
 	if err != nil {
 		return nil, err
@@ -241,9 +280,7 @@ func RunSender(p *mpc.Party, ys, payloads []uint64, mReceiver int) (*Result, err
 	pr := NewParams(mReceiver, len(ys))
 	sp := obs.Begin("psi", "psi.send")
 	defer sp.EndN(int64(pr.B))
-	mPSIRuns.Inc()
-	mPSIElements.Add(int64(len(ys)))
-	mPSIBins.Observe(int64(pr.B))
+	defer observeRun(pr.B, len(ys))()
 	seedMsg, err := p.Conn.Recv()
 	if err != nil {
 		return nil, err

@@ -103,9 +103,7 @@ func runIndexedReceiver(p *mpc.Party, xs []uint64, nSender int, myPayShares []ui
 	pr := NewParams(len(xs), nSender)
 	sp := obs.Begin("psi", "psi.indexed.recv")
 	defer sp.EndN(int64(pr.B))
-	mPSIRuns.Inc()
-	mPSIElements.Add(int64(len(xs)))
-	mPSIBins.Observe(int64(pr.B))
+	defer observeRun(pr.B, len(xs))()
 	npb := pr.N + pr.B
 
 	// Step 1-2: extend with zero shares; Bob permutes — via OEP when the
@@ -190,9 +188,7 @@ func runIndexedSender(p *mpc.Party, ys []uint64, myPayShares []uint64, mReceiver
 	pr := NewParams(mReceiver, len(ys))
 	sp := obs.Begin("psi", "psi.indexed.send")
 	defer sp.EndN(int64(pr.B))
-	mPSIRuns.Inc()
-	mPSIElements.Add(int64(len(ys)))
-	mPSIBins.Observe(int64(pr.B))
+	defer observeRun(pr.B, len(ys))()
 	npb := pr.N + pr.B
 
 	// Steps 1-2: extend and permute by a fresh random ξ₁ — obliviously
