@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all test short race race-sessions race-chunks race-backends race-obs race-kernels bench bench-json vet fuzz
+.PHONY: all test short race race-sessions race-chunks race-backends race-obs race-kernels race-daemon bench bench-json vet fuzz
 
 all: vet test
 
@@ -51,6 +51,15 @@ race-backends:
 # fully-observed transcript-neutrality tests (see DESIGN.md §14).
 race-obs:
 	$(GO) test -race -count=3 -timeout 30m -run 'Obs|Event|Flight|Label|Status|Prom|Shutdown' ./internal/obs ./internal/core .
+
+# The secyand daemon suites under the race detector, repeated: WFQ
+# fairness/starvation, typed quota and overload shedding, the
+# precompute farm's inventory and cooperative-warm paths, graceful
+# drain — all over real TCP — plus the per-query RunOption API's
+# precedence and wrapper-equivalence tests (see DESIGN.md §16).
+race-daemon:
+	$(GO) test -race -count=3 -timeout 30m ./internal/daemon
+	$(GO) test -race -count=3 -timeout 30m -run 'QueryUnified|RunOption|QueryDeadline|ExplainMerges' .
 
 # The crypto-kernel packages under the race detector, repeated: the
 # fixed-key AES hash layer (batched MMO, the 8-wide AESENC kernel, the

@@ -13,16 +13,23 @@
 //	secyan -query Q3 -scale 0.1 -role bob   -connect localhost:7000
 //
 // Alice prints the query results; both print their traffic statistics.
+//
+// Against a secyand daemon (the client plays Alice; the daemon must
+// serve a catalog generated with the same -scale and -seed):
+//
+//	secyan -query Q3 -scale 0.1 -daemon localhost:9440 -tenant acme
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"secyan/internal/core"
+	"secyan/internal/daemon"
 	"secyan/internal/mpc"
 	"secyan/internal/obs"
 	"secyan/internal/queries"
@@ -53,6 +60,9 @@ func main() {
 	backendName := flag.String("backend", "auto", "secure-join backend for every applicable semijoin/aggregate step: auto (cost-based per step), psi-oep, bifrost or gc; unlike -chunk this changes the transcript, so both parties must agree")
 	logJSON := flag.Bool("log-json", false, "emit the structured observability event log (session/query lifecycle, backend auctions, precompute hits, transport faults) as JSON lines on stderr")
 	flightN := flag.Int("flight", 0, "retain the last N completed-query flight records, print them as a table after the run, and serve them at /debug/queries with -debug-addr (0 = off)")
+	daemonAddr := flag.String("daemon", "", "run as a client of a secyand daemon at this address (plays alice; -role/-listen/-connect are ignored); the daemon must serve a catalog generated with the same -scale and -seed")
+	tenant := flag.String("tenant", "default", "daemon mode: tenant name to run queries as")
+	count := flag.Int("count", 1, "daemon mode: run the query this many times sequentially (repeated shapes exercise the daemon's precompute farm)")
 	flag.Parse()
 
 	backend, err := core.ParseBackend(*backendName)
@@ -114,9 +124,12 @@ func main() {
 		obs.Install(tracer)
 	}
 
-	if *role == "" {
+	switch {
+	case *daemonAddr != "":
+		runDaemonClient(spec, db, ring, *backendName, *daemonAddr, *tenant, *count, *maxRows, *heartbeat, *deadline)
+	case *role == "":
 		runInProcess(spec, db, ring, backend, *maxRows, *analyze, *precompute, tracer)
-	} else {
+	default:
 		runDistributed(spec, db, ring, backend, *role, *listen, *connect, *maxRows, *analyze, *precompute, *heartbeat, *deadline, tracer)
 	}
 
@@ -317,6 +330,41 @@ func runDistributed(spec queries.Spec, db *tpch.DB, ring share.Ring, backend cor
 		fmt.Printf("  offline phase: %.2fs, %.2f MB; online phase: %.2fs, %.2f MB\n",
 			offElapsed.Seconds(), float64(offBytes)/1e6,
 			(elapsed - offElapsed).Seconds(), float64(st.TotalBytes()-offBytes)/1e6)
+	}
+}
+
+// runDaemonClient executes the query through a secyand daemon: this
+// process plays Alice under the daemon's admission control and fair
+// scheduler, and receives the results from its own protocol runs.
+func runDaemonClient(spec queries.Spec, db *tpch.DB, ring share.Ring, backend, addr, tenant string, count, maxRows int, heartbeat, deadline time.Duration) {
+	catalog := daemon.TPCHCatalog(db)
+	c, err := daemon.Dial(addr, tenant, catalog, daemon.ClientConfig{Ring: ring, Heartbeat: heartbeat})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "secyan: daemon: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	fmt.Printf("connected to secyand at %s as tenant %q\n", addr, tenant)
+	for i := 0; i < count; i++ {
+		start := time.Now()
+		res, err := c.Run(context.Background(), daemon.RunSpec{
+			Name: spec.Name, Backend: backend, Deadline: deadline,
+		})
+		switch {
+		case errors.Is(err, daemon.ErrQuotaExceeded):
+			fmt.Fprintf(os.Stderr, "secyan: shed by tenant quota: %v\n", err)
+			os.Exit(3)
+		case errors.Is(err, daemon.ErrOverloaded):
+			fmt.Fprintf(os.Stderr, "secyan: shed by overload control (retry later): %v\n", err)
+			os.Exit(3)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "secyan: daemon run: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("run %d/%d: %.2fs\n", i+1, count, time.Since(start).Seconds())
+		if i == count-1 {
+			printResult(res, maxRows)
+		}
 	}
 }
 

@@ -172,6 +172,8 @@ func runPlan(ctx context.Context, p *mpc.Party, q *Query, shared bool, opts Exec
 	tag := opts.Tag
 	if tag == (obs.QueryTag{}) {
 		tag = p.Tag
+	} else if tag.Tenant == "" {
+		tag.Tenant = p.Tag.Tenant
 	}
 	lg := obs.Events()
 	eventsOn := lg.On()
@@ -337,6 +339,7 @@ func flightRecord(p *mpc.Party, plan *Plan, tag obs.QueryTag, tr *Trace, rows in
 	rec := obs.QueryRecord{
 		QID:           tag.QID,
 		SID:           tag.SID,
+		Tenant:        tag.Tenant,
 		Party:         p.Role.String(),
 		Peer:          p.Role.Other().String(),
 		Query:         plan.Root,

@@ -158,6 +158,85 @@ func PrecomputeOpts(ctx context.Context, p *mpc.Party, q *Query, po PlanOptions)
 	return tr, nil
 }
 
+// StagedCircuits is the network-free half of a precompute pass for one
+// role: every circuit a plan declares, built and garbled ahead of time
+// (or schedule-prepared, on the evaluating side) with zero traffic.
+// Unlike PrecomputeOpts it involves only this process — garbling is
+// data-independent pure compute and RunCircuit's staged fast path is
+// wire-identical to the direct path, so one side may stage alone
+// without any cross-party agreement. The daemon's precompute farm
+// builds these in the background against predicted query shapes.
+//
+// Staged material is single-use: Attach hands it to exactly one Party
+// about to execute the same plan shape.
+type StagedCircuits struct {
+	role     mpc.Role
+	digest   uint64
+	prepared []preparedCirc
+}
+
+// PrepareCircuits compiles q's plan (shape only — q needs no relations)
+// under po and stages every declared circuit for role. It returns nil
+// when the plan declares no circuits.
+func PrepareCircuits(q *Query, ringBits int, role mpc.Role, po PlanOptions) (*StagedCircuits, error) {
+	po.EstOut, po.ChunkSize = 0, 0
+	plan, err := compileQueryOpts(q, ringBits, po)
+	if err != nil {
+		return nil, err
+	}
+	sc := &StagedCircuits{role: role, digest: plan.Digest()}
+	for si := range plan.Steps {
+		for _, d := range plan.Steps[si].preCircs {
+			c := d.build()
+			if d.garbler == role {
+				sc.prepared = append(sc.prepared, preparedCirc{garb: gc.GarbleAhead(c)})
+			} else {
+				sc.prepared = append(sc.prepared, preparedCirc{eval: gc.PrepareEval(c)})
+			}
+		}
+	}
+	if len(sc.prepared) == 0 {
+		return nil, nil
+	}
+	return sc, nil
+}
+
+// Len returns the number of staged circuits.
+func (sc *StagedCircuits) Len() int {
+	if sc == nil {
+		return 0
+	}
+	return len(sc.prepared)
+}
+
+// Digest returns the shape digest of the plan the circuits were staged
+// for.
+func (sc *StagedCircuits) Digest() uint64 {
+	if sc == nil {
+		return 0
+	}
+	return sc.digest
+}
+
+// Attach enqueues the staged circuits onto p's precomputed-circuit
+// queues, in plan order. p must have the staging role and be about to
+// run the same plan shape; a mismatched run falls back to the direct
+// protocols (dropping the queue), which stays correct. Attach consumes
+// the material — a second call is a no-op.
+func (sc *StagedCircuits) Attach(p *mpc.Party) {
+	if sc == nil || p.Role != sc.role {
+		return
+	}
+	for _, pc := range sc.prepared {
+		if pc.garb != nil {
+			p.EnqueuePreGarbled(pc.garb)
+		} else {
+			p.EnqueuePreEval(pc.eval)
+		}
+	}
+	sc.prepared = nil
+}
+
 // ex1Offline performs one step's offline work: establishing the base-OT
 // session for setup steps, and one pool fill per declared OT batch
 // otherwise. Both parties walk identical plans, so the fills proceed in

@@ -1,0 +1,152 @@
+package daemon
+
+import (
+	"time"
+)
+
+// DefaultMaxQueued is a tenant's queued-query bound when its Quota
+// leaves MaxQueued zero.
+const DefaultMaxQueued = 16
+
+// Quota bounds one tenant's resource use. The zero value means
+// weight 1, DefaultMaxQueued queued queries, and no concurrency or
+// bytes/sec cap.
+type Quota struct {
+	// Weight is the tenant's fair-share weight (min 1): under
+	// contention a tenant receives dispatch in proportion to its weight
+	// (weighted fair queueing over estimated communication).
+	Weight int
+	// MaxConcurrent caps the tenant's simultaneously running queries;
+	// 0 leaves it uncapped (the global slot count still applies).
+	MaxConcurrent int
+	// MaxQueued caps the tenant's admitted-but-not-yet-running queries;
+	// 0 means DefaultMaxQueued. Excess is shed with ErrQuotaExceeded.
+	MaxQueued int
+	// BytesPerSec refills the tenant's token bucket of estimated
+	// protocol communication; 0 leaves the tenant unmetered. A query
+	// priced above Burst can never run and is shed immediately.
+	BytesPerSec int64
+	// Burst is the bucket capacity; 0 means 4× BytesPerSec.
+	Burst int64
+}
+
+// burst returns the effective bucket capacity.
+func (q Quota) burst() int64 {
+	if q.Burst > 0 {
+		return q.Burst
+	}
+	return 4 * q.BytesPerSec
+}
+
+// weight returns the effective fair-share weight.
+func (q Quota) weight() float64 {
+	if q.Weight < 1 {
+		return 1
+	}
+	return float64(q.Weight)
+}
+
+// maxQueued returns the effective queued-depth bound.
+func (q Quota) maxQueued() int {
+	if q.MaxQueued > 0 {
+		return q.MaxQueued
+	}
+	return DefaultMaxQueued
+}
+
+// tenant is one tenant's scheduler state. All fields are guarded by the
+// scheduler's mutex.
+type tenant struct {
+	name  string
+	quota Quota
+
+	queue   []*job // FIFO of admitted, not-yet-running jobs
+	running int
+	lastTag float64 // WFQ virtual finish tag of the last enqueued job
+
+	// Token bucket of estimated bytes (only when BytesPerSec > 0).
+	tokens     float64
+	lastRefill time.Time
+
+	// Lifetime accounting, surfaced by Snapshot and /debug/tenants.
+	admitted         int64
+	completed        int64
+	failed           int64
+	rejectedOverload int64
+	rejectedQuota    int64
+	estBytesCharged  int64
+	measuredBytes    int64
+	queueWait        time.Duration
+}
+
+// refill advances the token bucket to now.
+func (t *tenant) refill(now time.Time) {
+	if t.quota.BytesPerSec <= 0 {
+		return
+	}
+	if t.lastRefill.IsZero() {
+		t.tokens = float64(t.quota.burst())
+		t.lastRefill = now
+		return
+	}
+	dt := now.Sub(t.lastRefill).Seconds()
+	if dt <= 0 {
+		return
+	}
+	t.tokens += dt * float64(t.quota.BytesPerSec)
+	if cap := float64(t.quota.burst()); t.tokens > cap {
+		t.tokens = cap
+	}
+	t.lastRefill = now
+}
+
+// tokenWait returns how long until the bucket can afford cost (0 when
+// it already can).
+func (t *tenant) tokenWait(cost int64) time.Duration {
+	if t.quota.BytesPerSec <= 0 || t.tokens >= float64(cost) {
+		return 0
+	}
+	need := float64(cost) - t.tokens
+	return time.Duration(need / float64(t.quota.BytesPerSec) * float64(time.Second))
+}
+
+// TenantStatus is one tenant's externally visible scheduler state.
+type TenantStatus struct {
+	Name             string  `json:"name"`
+	Weight           int     `json:"weight"`
+	Running          int     `json:"running"`
+	Queued           int     `json:"queued"`
+	Admitted         int64   `json:"admitted"`
+	Completed        int64   `json:"completed"`
+	Failed           int64   `json:"failed"`
+	RejectedOverload int64   `json:"rejected_overloaded"`
+	RejectedQuota    int64   `json:"rejected_quota"`
+	EstBytesCharged  int64   `json:"est_bytes_charged"`
+	MeasuredBytes    int64   `json:"measured_bytes"`
+	AvgQueueWaitMS   float64 `json:"avg_queue_wait_ms"`
+	Tokens           int64   `json:"tokens,omitempty"`
+}
+
+// status snapshots the tenant under the scheduler lock.
+func (t *tenant) status() TenantStatus {
+	s := TenantStatus{
+		Name:             t.name,
+		Weight:           int(t.quota.weight()),
+		Running:          t.running,
+		Queued:           len(t.queue),
+		Admitted:         t.admitted,
+		Completed:        t.completed,
+		Failed:           t.failed,
+		RejectedOverload: t.rejectedOverload,
+		RejectedQuota:    t.rejectedQuota,
+		EstBytesCharged:  t.estBytesCharged,
+		MeasuredBytes:    t.measuredBytes,
+	}
+	if done := t.completed + t.failed; done > 0 {
+		s.AvgQueueWaitMS = float64(t.queueWait.Milliseconds()) / float64(done)
+	}
+	if t.quota.BytesPerSec > 0 {
+		s.Tokens = int64(t.tokens)
+	}
+	return s
+}

@@ -89,11 +89,12 @@ type PartyOpts struct {
 	Deadline time.Duration
 }
 
-// PartyOn opens stream id and returns a Party bound to it. The peer
-// must call PartyOn with the same id for the paired run. Closing the
-// party's Conn releases only this stream; the session and its other
-// streams are unaffected.
-func (s *Session) PartyOn(id uint32, opts PartyOpts) (*Party, error) {
+// OpenStream opens logical stream id for non-protocol traffic — e.g. a
+// daemon's admission/control channel riding the same session as its
+// query streams. The peer must open the same id. The stream follows the
+// session's deadline fallback and WrapStream hook exactly like a
+// protocol stream; closing it releases only this stream.
+func (s *Session) OpenStream(id uint32, opts PartyOpts) (transport.Conn, error) {
 	dl := opts.Deadline
 	if dl == 0 {
 		dl = s.cfg.StreamDeadline
@@ -104,6 +105,18 @@ func (s *Session) PartyOn(id uint32, opts PartyOpts) (*Party, error) {
 	}
 	if s.cfg.WrapStream != nil {
 		c = s.cfg.WrapStream(id, c)
+	}
+	return c, nil
+}
+
+// PartyOn opens stream id and returns a Party bound to it. The peer
+// must call PartyOn with the same id for the paired run. Closing the
+// party's Conn releases only this stream; the session and its other
+// streams are unaffected.
+func (s *Session) PartyOn(id uint32, opts PartyOpts) (*Party, error) {
+	c, err := s.OpenStream(id, opts)
+	if err != nil {
+		return nil, err
 	}
 	p := NewParty(s.role, c, s.ring)
 	p.Tag.SID = s.cfg.SID

@@ -34,6 +34,9 @@ type QueryTag struct {
 	// QID is the process-locally unique query ID minted at admission;
 	// 0 before admission.
 	QID uint64
+	// Tenant is the billing/scheduling principal a query runs on behalf
+	// of; empty for untagged (single-tenant) runs.
+	Tenant string
 }
 
 var (
@@ -49,11 +52,12 @@ func NextQueryID() uint64 { return qidCounter.Add(1) }
 
 // Event is one structured lifecycle event as retained in the ring.
 type Event struct {
-	Time  time.Time
-	Kind  string
-	SID   uint64
-	QID   uint64
-	Attrs []slog.Attr
+	Time   time.Time
+	Kind   string
+	SID    uint64
+	QID    uint64
+	Tenant string
+	Attrs  []slog.Attr
 }
 
 // MarshalJSON flattens the event's attrs next to the fixed fields, so
@@ -67,6 +71,9 @@ func (e Event) MarshalJSON() ([]byte, error) {
 	}
 	if e.QID != 0 {
 		m["qid"] = e.QID
+	}
+	if e.Tenant != "" {
+		m["tenant"] = e.Tenant
 	}
 	for _, a := range e.Attrs {
 		m[a.Key] = attrValue(a.Value)
@@ -179,7 +186,7 @@ func (l *Logger) Emit(kind string, tag QueryTag, attrs ...slog.Attr) {
 	if !l.on.Load() {
 		return
 	}
-	ev := Event{Time: time.Now(), Kind: kind, SID: tag.SID, QID: tag.QID}
+	ev := Event{Time: time.Now(), Kind: kind, SID: tag.SID, QID: tag.QID, Tenant: tag.Tenant}
 	if len(attrs) > 0 {
 		ev.Attrs = append(make([]slog.Attr, 0, len(attrs)), attrs...)
 	}
@@ -199,6 +206,9 @@ func (l *Logger) Emit(kind string, tag QueryTag, attrs ...slog.Attr) {
 		}
 		if tag.QID != 0 {
 			all = append(all, slog.Uint64("qid", tag.QID))
+		}
+		if tag.Tenant != "" {
+			all = append(all, slog.String("tenant", tag.Tenant))
 		}
 		all = append(all, attrs...)
 		sink.LogAttrs(context.Background(), slog.LevelInfo, kind, all...)

@@ -8,6 +8,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -26,6 +27,29 @@ func Ready() bool { return ready.Load() }
 // shutdownGrace bounds how long shutdown waits for in-flight handlers
 // before force-closing their connections.
 const shutdownGrace = 5 * time.Second
+
+// Extra debug pages registered by higher layers (the daemon's
+// /debug/tenants). A registry rather than handler wrapping keeps
+// DebugHandler the single route source for both ServeDebug and
+// embedders.
+var (
+	pagesMu sync.Mutex
+	pages   = map[string]http.HandlerFunc{}
+)
+
+// RegisterDebugPage mounts h at path on every handler DebugHandler
+// builds after the call. Registering a path again replaces the handler;
+// fixed routes cannot be overridden. Register before starting the debug
+// server — handlers already built keep their routes.
+func RegisterDebugPage(path string, h http.HandlerFunc) {
+	pagesMu.Lock()
+	defer pagesMu.Unlock()
+	if h == nil {
+		delete(pages, path)
+		return
+	}
+	pages[path] = h
+}
 
 // ServeDebug starts the debug HTTP server on addr (host:port; port 0
 // picks a free one), enables metric collection and marks the process
@@ -132,5 +156,10 @@ func DebugHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		enc.Encode(Events().Recent(0))
 	})
+	pagesMu.Lock()
+	for path, h := range pages {
+		mux.HandleFunc(path, h)
+	}
+	pagesMu.Unlock()
 	return mux
 }

@@ -44,6 +44,7 @@ type AuctionOutcome struct {
 type QueryRecord struct {
 	QID        uint64 `json:"qid"`
 	SID        uint64 `json:"sid,omitempty"`
+	Tenant     string `json:"tenant,omitempty"`
 	Party      string `json:"party"`
 	Peer       string `json:"peer"`
 	Query      string `json:"query"`
@@ -172,6 +173,9 @@ func WriteFlightTable(w io.Writer, recs []QueryRecord) {
 			if r.Blame != "" {
 				status += " @ " + r.Blame
 			}
+		}
+		if r.Tenant != "" {
+			status += " tenant=" + r.Tenant
 		}
 		fmt.Fprintf(w, "%6d %5d %-6s %-10s %-16s %5d %8.3fs %11dB %7d %s\n",
 			r.QID, r.SID, r.Party, r.Query, r.PlanDigest, r.Steps, r.Seconds, r.Bytes, r.Rounds, status)

@@ -59,6 +59,7 @@ type config struct {
 	estOut         int
 	chunk          int
 	backend        core.BackendID
+	tenant         string
 	wrapStream     func(id uint32, c Conn) Conn
 }
 
@@ -120,11 +121,73 @@ func WithChunkSize(n int) Option { return func(c *config) { c.chunk = n } }
 // backend — unlike chunking, this changes the transcript.
 func WithBackend(b BackendID) Option { return func(c *config) { c.backend = b } }
 
+// WithTenant labels every query on the session with a tenant — the
+// billing/scheduling principal carried on events, labeled metrics and
+// flight records (and used by the secyand daemon for fair scheduling
+// and quota accounting). Overridable per query via WithQueryTag.
+// Process-local bookkeeping only, never on the wire.
+func WithTenant(name string) Option { return func(c *config) { c.tenant = name } }
+
 // WithStreamWrapper interposes f on every logical stream the session
 // opens — the hook behind fault injection (see transport.InjectFaults)
 // and per-stream instrumentation. f must preserve Conn semantics.
 func WithStreamWrapper(f func(id uint32, c Conn) Conn) Option {
 	return func(c *config) { c.wrapStream = f }
+}
+
+// runConfig is the per-query view of the session config: the fields a
+// single execution may override. Session-level Options seed it
+// (defaults); RunOptions then apply on top, so per-query values always
+// win — TestRunOptionPrecedence pins this order.
+type runConfig struct {
+	chunk    int
+	backend  core.BackendID
+	tenant   string
+	deadline time.Duration
+	shared   bool
+}
+
+// RunOption tunes one query execution on a Session, as a trailing
+// variadic to Query, Run, RunTrace, RunShared, Precompute and
+// RevealRatio. Per-query options override the session-level defaults
+// set by Options at Open.
+type RunOption func(*runConfig)
+
+// WithQueryBackend forces this query's semijoin/aggregate steps onto
+// one backend, overriding the session's WithBackend default. Both
+// parties must pass the same value — like WithBackend, this changes
+// the transcript.
+func WithQueryBackend(b BackendID) RunOption { return func(c *runConfig) { c.backend = b } }
+
+// WithQueryChunkSize overrides the session's WithChunkSize default for
+// this query only (transcript-invariant; see WithChunkSize).
+func WithQueryChunkSize(n int) RunOption { return func(c *runConfig) { c.chunk = n } }
+
+// WithQueryDeadline bounds this query's wall time: the execution runs
+// under a context that expires after d, so it fails with
+// context.DeadlineExceeded (wrapped in the step's StreamError) when
+// exceeded. Independent of the session-wide WithDeadline and the
+// per-stream WithStreamDeadline.
+func WithQueryDeadline(d time.Duration) RunOption { return func(c *runConfig) { c.deadline = d } }
+
+// WithQueryTag labels this query with a tenant, overriding the
+// session's WithTenant default; see WithTenant.
+func WithQueryTag(tenant string) RunOption { return func(c *runConfig) { c.tenant = tenant } }
+
+// WithSharedResult keeps the result annotations secret-shared instead
+// of revealing them to Alice: Query returns Result.Shared in place of
+// Result.Relation — the building block of the paper-§7 compositions
+// (see RevealRatio). RunShared is shorthand for this option.
+func WithSharedResult() RunOption { return func(c *runConfig) { c.shared = true } }
+
+// runConfig seeds the per-query config from the session defaults and
+// applies opts on top.
+func (s *Session) runConfig(opts []RunOption) runConfig {
+	rc := runConfig{chunk: s.cfg.chunk, backend: s.cfg.backend, tenant: s.cfg.tenant}
+	for _, o := range opts {
+		o(&rc)
+	}
+	return rc
 }
 
 func buildConfig(opts []Option) config {
@@ -249,46 +312,93 @@ func (s *Session) party() (*Party, uint32, error) {
 	return p, id, nil
 }
 
+// Result is the unified outcome of one query execution on a Session.
+// Exactly one of Relation and Shared is populated on success, depending
+// on WithSharedResult (and on the party: only Alice receives revealed
+// rows). Trace is always attached — valid as a prefix even when the
+// execution failed.
+type Result struct {
+	// Relation is the revealed result (Alice's side of a revealing run;
+	// nil on Bob and for shared runs).
+	Relation *Relation
+	// Shared is the still-secret-shared result of a WithSharedResult
+	// run, combinable across runs (see RevealRatio).
+	Shared *SharedResult
+	// Trace is the per-step execution trace.
+	Trace *Trace
+}
+
+// Query executes the secure Yannakakis protocol for q on its own
+// stream and returns the unified Result. It is the single entry point
+// the deprecated Run/RunTrace/RunShared wrap: a revealing run fills
+// Result.Relation (Alice) and Result.Trace; WithSharedResult fills
+// Result.Shared instead. A preceding Precompute of the same query
+// shape is consumed transparently. The returned Result is non-nil even
+// on error, carrying the prefix trace.
+func (s *Session) Query(ctx context.Context, q *Query, opts ...RunOption) (*Result, error) {
+	rc := s.runConfig(opts)
+	res := &Result{}
+	p, id, err := s.party()
+	if err != nil {
+		return res, err
+	}
+	defer p.Conn.Close()
+	if rc.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rc.deadline)
+		defer cancel()
+	}
+	kind := "run"
+	if rc.shared {
+		kind = "run-shared"
+	}
+	tag := s.admit(p, id, kind, rc.tenant)
+	eo := core.ExecOptions{ChunkSize: rc.chunk, Backend: rc.backend, Tag: tag}
+	if rc.shared {
+		res.Shared, res.Trace, err = core.RunSharedContextOpts(ctx, p, q, eo)
+	} else {
+		res.Relation, res.Trace, err = core.RunContextOpts(ctx, p, q, eo)
+	}
+	if err != nil {
+		return res, s.labeled(id, err)
+	}
+	return res, nil
+}
+
 // Run executes the secure Yannakakis protocol for q on its own stream.
 // Alice receives the query results; Bob receives nil. A preceding
 // Precompute of the same query shape is consumed transparently.
-func (s *Session) Run(ctx context.Context, q *Query) (*Relation, error) {
-	rel, _, err := s.RunTrace(ctx, q)
-	return rel, err
+//
+// Deprecated: use Query, which returns the unified Result. Run remains
+// as a thin wrapper and is transcript-identical.
+func (s *Session) Run(ctx context.Context, q *Query, opts ...RunOption) (*Relation, error) {
+	res, err := s.Query(ctx, q, opts...)
+	return res.Relation, err
 }
 
 // RunTrace is Run returning the per-step execution trace as well
 // (valid as a prefix even on error).
-func (s *Session) RunTrace(ctx context.Context, q *Query) (*Relation, *Trace, error) {
-	p, id, err := s.party()
-	if err != nil {
-		return nil, nil, err
-	}
-	defer p.Conn.Close()
-	tag := s.admit(p, id, "run")
-	rel, tr, err := core.RunContextOpts(ctx, p, q, core.ExecOptions{ChunkSize: s.cfg.chunk, Backend: s.cfg.backend, Tag: tag})
-	if err != nil {
-		return nil, tr, s.labeled(id, err)
-	}
-	return rel, tr, nil
+//
+// Deprecated: use Query, which returns the unified Result. RunTrace
+// remains as a thin wrapper and is transcript-identical.
+func (s *Session) RunTrace(ctx context.Context, q *Query, opts ...RunOption) (*Relation, *Trace, error) {
+	res, err := s.Query(ctx, q, opts...)
+	return res.Relation, res.Trace, err
 }
 
 // RunShared executes the protocol but keeps the result annotations
 // secret-shared, enabling the compositions of paper §7. The returned
 // result is stream-independent data: it may be combined (RevealRatio)
 // with results from other runs of this session.
-func (s *Session) RunShared(ctx context.Context, q *Query) (*SharedResult, error) {
-	p, id, err := s.party()
-	if err != nil {
-		return nil, err
-	}
-	defer p.Conn.Close()
-	tag := s.admit(p, id, "run-shared")
-	res, _, err := core.RunSharedContextOpts(ctx, p, q, core.ExecOptions{ChunkSize: s.cfg.chunk, Backend: s.cfg.backend, Tag: tag})
-	if err != nil {
-		return nil, s.labeled(id, err)
-	}
-	return res, nil
+//
+// Deprecated: use Query with WithSharedResult. RunShared remains as a
+// thin wrapper and is transcript-identical.
+func (s *Session) RunShared(ctx context.Context, q *Query, opts ...RunOption) (*SharedResult, error) {
+	all := make([]RunOption, 0, len(opts)+1)
+	all = append(all, opts...)
+	all = append(all, WithSharedResult())
+	res, err := s.Query(ctx, q, all...)
+	return res.Shared, err
 }
 
 // Precompute executes the offline phase of q's plan on a background
@@ -296,7 +406,8 @@ func (s *Session) RunShared(ctx context.Context, q *Query) (*SharedResult, error
 // queries running on other streams. The staged material is parked and
 // consumed by the next Run/RunShared on this session; both parties
 // must keep their call sequences aligned, as always.
-func (s *Session) Precompute(ctx context.Context, q *Query) (*Trace, error) {
+func (s *Session) Precompute(ctx context.Context, q *Query, opts ...RunOption) (*Trace, error) {
+	rc := s.runConfig(opts)
 	p, id, err := s.sess.NextParty(mpc.PartyOpts{})
 	if err != nil {
 		return nil, err
@@ -304,8 +415,13 @@ func (s *Session) Precompute(ctx context.Context, q *Query) (*Trace, error) {
 	if s.cfg.tracer != nil {
 		p.Track = s.cfg.tracer.Track(fmt.Sprintf("%s/stream-%d", s.role, id))
 	}
-	s.admit(p, id, "precompute")
-	tr, err := core.PrecomputeOpts(ctx, p, q, core.PlanOptions{Backend: s.cfg.backend})
+	if rc.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rc.deadline)
+		defer cancel()
+	}
+	s.admit(p, id, "precompute", rc.tenant)
+	tr, err := core.PrecomputeOpts(ctx, p, q, core.PlanOptions{Backend: rc.backend})
 	if err != nil {
 		p.Conn.Close()
 		return tr, s.labeled(id, err)
@@ -319,13 +435,19 @@ func (s *Session) Precompute(ctx context.Context, q *Query) (*Trace, error) {
 // RevealRatio reveals (num·scale)/den per result row to Alice on a
 // fresh stream — the composition used for AVG and market-share style
 // aggregates over two RunShared results.
-func (s *Session) RevealRatio(ctx context.Context, num, den *SharedResult, scale uint64) (*Relation, error) {
+func (s *Session) RevealRatio(ctx context.Context, num, den *SharedResult, scale uint64, opts ...RunOption) (*Relation, error) {
+	rc := s.runConfig(opts)
 	p, id, err := s.party()
 	if err != nil {
 		return nil, err
 	}
 	defer p.Conn.Close()
-	s.admit(p, id, "reveal-ratio")
+	if rc.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, rc.deadline)
+		defer cancel()
+	}
+	s.admit(p, id, "reveal-ratio", rc.tenant)
 	pp, release := p.WithContext(ctx)
 	defer release()
 	rel, err := core.RevealRatio(pp, num, den, scale)
@@ -336,8 +458,11 @@ func (s *Session) RevealRatio(ctx context.Context, num, den *SharedResult, scale
 }
 
 // Explain derives the execution plan and communication estimate for q
-// under this session's ring. Options: WithEstOut, WithChunkSize,
-// WithBackend.
+// under this session's ring. opts merge onto the session's own config —
+// a session opened WithChunkSize/WithBackend sees those in its Explain
+// output, and per-call opts override them (the same precedence as
+// RunOptions on Query; TestSessionExplainMergesSessionConfig pins it).
+// Options: WithEstOut, WithChunkSize, WithBackend.
 func (s *Session) Explain(q *Query, opts ...Option) (*Plan, error) {
 	cfg := s.cfg
 	for _, o := range opts {
@@ -368,8 +493,8 @@ func (s *Session) Close() error {
 // process-local bookkeeping: with observation off it is two atomic
 // loads and, when a record could ever be produced, one counter
 // increment.
-func (s *Session) admit(p *Party, id uint32, kind string) obs.QueryTag {
-	tag := obs.QueryTag{SID: s.sid}
+func (s *Session) admit(p *Party, id uint32, kind, tenant string) obs.QueryTag {
+	tag := obs.QueryTag{SID: s.sid, Tenant: tenant}
 	lg := obs.Events()
 	if !lg.On() && !obs.Enabled() {
 		p.Tag = tag

@@ -1,0 +1,210 @@
+package secyan
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// runPair issues the same session call on both parties concurrently and
+// returns Alice's outcome.
+func runPair(t *testing.T, alice, bob *Session, f func(s *Session) (*Result, error)) *Result {
+	t.Helper()
+	type out struct {
+		res *Result
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		res, err := f(bob)
+		ch <- out{res, err}
+	}()
+	res, err := f(alice)
+	bo := <-ch
+	if err != nil {
+		t.Fatalf("alice: %v", err)
+	}
+	if bo.err != nil {
+		t.Fatalf("bob: %v", bo.err)
+	}
+	return res
+}
+
+// TestQueryUnifiedAPI pins that the deprecated Run/RunTrace/RunShared
+// wrappers and the unified Query entry point are interchangeable: same
+// results, and byte-identical transcripts (equal per-step traffic).
+func TestQueryUnifiedAPI(t *testing.T) {
+	q, rels := sessionExampleQuery(11, 10, 18)
+
+	run := func(f func(s *Session, view *Query) (*Result, error)) *Result {
+		alice, bob := OpenLocal()
+		defer alice.Close()
+		defer bob.Close()
+		return runPair(t, alice, bob, func(s *Session) (*Result, error) {
+			return f(s, viewFor(q, rels, s.role))
+		})
+	}
+
+	viaQuery := run(func(s *Session, view *Query) (*Result, error) {
+		return s.Query(context.Background(), view)
+	})
+	viaRun := run(func(s *Session, view *Query) (*Result, error) {
+		rel, err := s.Run(context.Background(), view)
+		return &Result{Relation: rel}, err
+	})
+	viaTrace := run(func(s *Session, view *Query) (*Result, error) {
+		rel, tr, err := s.RunTrace(context.Background(), view)
+		return &Result{Relation: rel, Trace: tr}, err
+	})
+
+	if viaQuery.Relation == nil || viaQuery.Shared != nil {
+		t.Fatalf("Query (revealing): Relation=%v Shared=%v, want relation only", viaQuery.Relation, viaQuery.Shared)
+	}
+	if viaQuery.Trace == nil || len(viaQuery.Trace.Steps) == 0 {
+		t.Fatal("Query: missing trace")
+	}
+	want := sumByClass(viaQuery.Relation)
+	for name, res := range map[string]*Result{"Run": viaRun, "RunTrace": viaTrace} {
+		if got := sumByClass(res.Relation); len(got) != len(want) {
+			t.Fatalf("%s result differs from Query: %v vs %v", name, got, want)
+		} else {
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("%s result differs from Query at class %d: %d vs %d", name, k, got[k], v)
+				}
+			}
+		}
+	}
+	// Transcript equivalence: the wrapper and the unified entry point
+	// must move exactly the same bytes.
+	if a, b := viaQuery.Trace.TotalBytes(), viaTrace.Trace.TotalBytes(); a != b {
+		t.Fatalf("transcript bytes differ: Query %d vs RunTrace %d", a, b)
+	}
+
+	viaShared := run(func(s *Session, view *Query) (*Result, error) {
+		return s.Query(context.Background(), view, WithSharedResult())
+	})
+	if viaShared.Shared == nil || viaShared.Relation != nil {
+		t.Fatalf("Query(WithSharedResult): Shared=%v Relation=%v, want shared only", viaShared.Shared, viaShared.Relation)
+	}
+	viaRunShared := run(func(s *Session, view *Query) (*Result, error) {
+		sh, err := s.RunShared(context.Background(), view)
+		return &Result{Shared: sh}, err
+	})
+	if viaRunShared.Shared == nil {
+		t.Fatal("RunShared: nil shared result")
+	}
+}
+
+// TestRunOptionPrecedence pins the override order: session Options set
+// defaults, per-query RunOptions win.
+func TestRunOptionPrecedence(t *testing.T) {
+	q, rels := sessionExampleQuery(13, 8, 14)
+
+	// backendsIn collects the secure backends the trace's steps ran on
+	// ("local" marks steps outside the secure-join backends' domain and
+	// is unaffected by backend forcing).
+	backendsIn := func(res *Result) map[string]bool {
+		got := map[string]bool{}
+		for _, st := range res.Trace.Steps {
+			if st.Backend != "" && st.Backend != "local" {
+				got[st.Backend] = true
+			}
+		}
+		return got
+	}
+
+	// Session default applies when no per-query option is given.
+	alice, bob := OpenLocal(WithBackend(BackendGC))
+	res := runPair(t, alice, bob, func(s *Session) (*Result, error) {
+		return s.Query(context.Background(), viewFor(q, rels, s.role))
+	})
+	if got := backendsIn(res); !got[string(BackendGC)] || len(got) != 1 {
+		t.Fatalf("session WithBackend(gc) default not honored: step backends %v", got)
+	}
+
+	// Per-query option overrides the session default.
+	res = runPair(t, alice, bob, func(s *Session) (*Result, error) {
+		return s.Query(context.Background(), viewFor(q, rels, s.role), WithQueryBackend(BackendPSIOEP))
+	})
+	if got := backendsIn(res); got[string(BackendGC)] {
+		t.Fatalf("WithQueryBackend(psi-oep) did not override session gc default: %v", got)
+	}
+	alice.Close()
+	bob.Close()
+
+	// Tenant precedence lands on the flight record.
+	EnableObservability()
+	SetFlightCapacity(16)
+	alice, bob = OpenLocal(WithTenant("session-tenant"))
+	defer alice.Close()
+	defer bob.Close()
+	runPair(t, alice, bob, func(s *Session) (*Result, error) {
+		return s.Query(context.Background(), viewFor(q, rels, s.role))
+	})
+	runPair(t, alice, bob, func(s *Session) (*Result, error) {
+		return s.Query(context.Background(), viewFor(q, rels, s.role), WithQueryTag("query-tenant"))
+	})
+	recs := FlightRecords()
+	if len(recs) < 4 {
+		t.Fatalf("want >=4 flight records, got %d", len(recs))
+	}
+	// Records are newest-first: the override run, then the default run.
+	if recs[0].Tenant != "query-tenant" || recs[1].Tenant != "query-tenant" {
+		t.Fatalf("WithQueryTag did not override session tenant: newest records %q, %q", recs[0].Tenant, recs[1].Tenant)
+	}
+	if recs[2].Tenant != "session-tenant" || recs[3].Tenant != "session-tenant" {
+		t.Fatalf("WithTenant default missing from flight records: %q, %q", recs[2].Tenant, recs[3].Tenant)
+	}
+}
+
+// TestQueryDeadline pins that WithQueryDeadline bounds a single query's
+// wall time via its context.
+func TestQueryDeadline(t *testing.T) {
+	q, rels := sessionExampleQuery(17, 64, 128)
+	alice, bob := OpenLocal()
+	defer alice.Close()
+	defer bob.Close()
+	type out struct{ err error }
+	ch := make(chan out, 1)
+	go func() {
+		_, err := bob.Query(context.Background(), viewFor(q, rels, Bob))
+		ch <- out{err}
+	}()
+	_, err := alice.Query(context.Background(), viewFor(q, rels, Alice), WithQueryDeadline(time.Nanosecond))
+	<-ch
+	if err == nil {
+		t.Fatal("1ns per-query deadline did not fail the run")
+	}
+}
+
+// TestSessionExplainMergesSessionConfig pins that Session.Explain sees
+// the session's own WithChunkSize/WithBackend configuration, with
+// per-call opts overriding it — the same precedence RunOptions have.
+func TestSessionExplainMergesSessionConfig(t *testing.T) {
+	q, rels := sessionExampleQuery(19, 8, 14)
+	alice, bob := OpenLocal(WithChunkSize(128), WithBackend(BackendGC))
+	defer alice.Close()
+	defer bob.Close()
+
+	plan, err := alice.Explain(viewFor(q, rels, Alice))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.ChunkSize != 128 {
+		t.Fatalf("Explain dropped session WithChunkSize(128): got %d", plan.ChunkSize)
+	}
+	for _, st := range plan.Steps {
+		if st.Backend != "" && st.Backend != "local" && st.Backend != BackendGC {
+			t.Fatalf("Explain dropped session WithBackend(gc): step backend %q", st.Backend)
+		}
+	}
+
+	over, err := alice.Explain(viewFor(q, rels, Alice), WithChunkSize(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.ChunkSize != 16 {
+		t.Fatalf("per-call WithChunkSize(16) did not override session default: got %d", over.ChunkSize)
+	}
+}
